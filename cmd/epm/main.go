@@ -1,0 +1,123 @@
+// Command epm runs EPM clustering (and, when profiles are present,
+// behavior-based clustering) over a dataset file produced by sgnet-sim,
+// then prints Table 1 and per-dimension cluster summaries.
+//
+// Usage:
+//
+//	epm -in dataset.jsonl [-min-instances 10] [-min-attackers 3] [-min-sensors 3] [-top 15] [-o clusters.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bcluster"
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/epm"
+	"repro/internal/report"
+)
+
+func main() {
+	in := flag.String("in", "", "input dataset (JSON lines, from sgnet-sim)")
+	minInstances := flag.Int("min-instances", 10, "invariant threshold: attack instances")
+	minAttackers := flag.Int("min-attackers", 3, "invariant threshold: distinct attackers")
+	minSensors := flag.Int("min-sensors", 3, "invariant threshold: distinct honeypot IPs")
+	top := flag.Int("top", 15, "clusters to list per dimension")
+	out := flag.String("o", "", "write the three clusterings as JSON lines to this path")
+	flag.Parse()
+
+	if err := run(*in, epm.Thresholds{
+		MinInstances: *minInstances,
+		MinAttackers: *minAttackers,
+		MinSensors:   *minSensors,
+	}, *top, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "epm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, th epm.Thresholds, top int, out string) error {
+	if in == "" {
+		return fmt.Errorf("missing -in (generate one with sgnet-sim)")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := dataset.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d events, %d samples (%d executable)\n\n",
+		ds.EventCount(), ds.SampleCount(), ds.ExecutableSampleCount())
+
+	e, err := epm.Run(dataset.EpsilonSchema, ds.EpsilonInstances(), th)
+	if err != nil {
+		return err
+	}
+	p, err := epm.Run(dataset.PiSchema, ds.PiInstances(), th)
+	if err != nil {
+		return err
+	}
+	m, err := epm.Run(dataset.MuSchema, ds.MuInstances(), th)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Table1(e, p, m))
+	fmt.Println()
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, c := range []*epm.Clustering{e, p, m} {
+			if err := c.WriteJSON(f); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("clusterings written to %s\n\n", out)
+	}
+
+	for _, c := range []*epm.Clustering{e, p, m} {
+		fmt.Printf("%s: %d clusters\n", c.Schema.Dimension, len(c.Clusters))
+		for i, cl := range c.Clusters {
+			if i >= top {
+				fmt.Printf("  ... %d more\n", len(c.Clusters)-top)
+				break
+			}
+			fmt.Printf("  #%d size=%d attackers=%d sensors=%d pattern=%s\n",
+				cl.ID, cl.Size(), cl.Attackers, cl.Sensors, cl.Pattern)
+		}
+		fmt.Println()
+	}
+
+	// Behavioral clustering straight from the stored profiles, when the
+	// dataset was enriched.
+	var inputs []bcluster.Input
+	for _, s := range ds.Samples() {
+		if len(s.Profile) == 0 {
+			continue
+		}
+		prof := behavior.NewProfile()
+		for _, feat := range s.Profile {
+			prof.Add(feat)
+		}
+		inputs = append(inputs, bcluster.Input{ID: s.MD5, Profile: prof})
+	}
+	if len(inputs) == 0 {
+		fmt.Println("no behavioral profiles stored; skipping B-clustering")
+		return nil
+	}
+	b, err := bcluster.Run(inputs, bcluster.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("behavior: %d B-clusters over %d profiles (%d singletons, %d candidate pairs, %d links)\n",
+		len(b.Clusters), len(inputs), len(b.Singletons()), b.Stats.CandidatePairs, b.Stats.Links)
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f while collecting everything written to stdout.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	os.Stdout = old
+	_ = w.Close()
+	out := <-done
+	_ = r.Close()
+	return out, ferr
+}
+
+func TestRunAllSmall(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(3, true, "all") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Section 4.1 headline counts",
+		"Table 1",
+		"Figure 3",
+		"Figure 4",
+		"per-source polymorphic cluster",
+		"Figure 5",
+		"Table 2",
+		"Clustering validity",
+		"W32.Rahack",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleSelectors(t *testing.T) {
+	for _, sel := range []string{"counts", "table1", "diag"} {
+		sel := sel
+		t.Run(sel, func(t *testing.T) {
+			out, err := captureStdout(t, func() error { return run(3, true, sel) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) < 100 {
+				t.Errorf("selector %q produced almost no output", sel)
+			}
+		})
+	}
+}
+
+func TestRunUnknownSelectorRunsNothing(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(3, true, "nonexistent") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Table 1") {
+		t.Error("unknown selector must not run experiments")
+	}
+}

@@ -1,0 +1,93 @@
+// Command landscape runs the full pipeline and prints every table and
+// figure of the reproduction in sequence — the one-shot "show me
+// everything" tool.
+//
+// Usage:
+//
+//	landscape [-seed N] [-small] [-scenario file.json] [-min-cluster 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2010, "scenario seed")
+	small := flag.Bool("small", false, "use the reduced scenario")
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides -small)")
+	minCluster := flag.Int("min-cluster", 30, "Figure 3 minimum cluster size")
+	flag.Parse()
+
+	if err := run(*seed, *small, *scenarioPath, *minCluster); err != nil {
+		fmt.Fprintln(os.Stderr, "landscape:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, small bool, scenarioPath string, minCluster int) error {
+	scenario := core.DefaultScenario()
+	if small {
+		scenario = core.SmallScenario()
+	}
+	if scenarioPath != "" {
+		loaded, err := core.LoadScenarioFile(scenarioPath)
+		if err != nil {
+			return err
+		}
+		scenario = loaded
+	}
+	scenario.Seed = seed
+
+	res, err := core.Run(scenario)
+	if err != nil {
+		return err
+	}
+
+	events, samples, executable, e, p, m, b := res.Counts()
+	fmt.Print(report.BigPicture(report.Counts{
+		Events: events, Samples: samples, ExecutableSamples: executable,
+		EClusters: e, PClusters: p, MClusters: m, BClusters: b,
+	}))
+	fmt.Println()
+	fmt.Print(report.Table1(res.E, res.P, res.M))
+	fmt.Println()
+
+	g, err := analysis.BuildRelationGraph(res.Dataset, res.E, res.P, res.M, res.B, res.CrossMap, minCluster)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Figure3(g))
+	fmt.Println()
+
+	anomalies, err := analysis.FindSize1Anomalies(res.Dataset, res.E, res.P, res.B, res.CrossMap)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Figure4(anomalies))
+	fmt.Println()
+
+	for i, bIdx := range res.CrossMap.MultiMBClusters(res.B) {
+		if i >= 2 {
+			break
+		}
+		ctx, err := analysis.PropagationContext(res.Dataset, res.M, res.B, res.CrossMap, bIdx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Figure5(ctx, 12))
+		fmt.Println()
+	}
+
+	rows, err := analysis.IRCCorrelation(res.Dataset, res.CrossMap)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Table2(rows))
+	return nil
+}

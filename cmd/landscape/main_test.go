@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	os.Stdout = old
+	_ = w.Close()
+	out := <-done
+	_ = r.Close()
+	return out, ferr
+}
+
+func TestRunPrintsEverything(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(4, true, "", 30) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Big picture",
+		"Table 1",
+		"Figure 3",
+		"Figure 4",
+		"Figure 5",
+		"Table 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunMinClusterAffectsFigure3(t *testing.T) {
+	strict, err := captureStdout(t, func() error { return run(4, true, "", 100) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := captureStdout(t, func() error { return run(4, true, "", 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict == loose {
+		t.Error("min-cluster filter has no effect on the output")
+	}
+}

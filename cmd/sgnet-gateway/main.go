@@ -1,0 +1,75 @@
+// Command sgnet-gateway runs the central gateway of a distributed SGNET
+// deployment (Figure 1 of the paper): it owns the master FSM models,
+// serves sensor connections, plays the sample-factory oracle for unknown
+// activity, and collects event reports. On SIGINT/SIGTERM it writes the
+// collected dataset and exits.
+//
+// Usage:
+//
+//	sgnet-gateway [-listen 127.0.0.1:7070] [-mature 3] [-o events.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/sgnetd"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	mature := flag.Int("mature", 0, "FSM maturity threshold (0 = default)")
+	out := flag.String("o", "", "write collected events to this path on shutdown")
+	flag.Parse()
+
+	if err := run(*listen, *mature, *out, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sgnet-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until stop is closed (or a signal arrives when stop is nil).
+func run(listen string, mature int, out string, stop <-chan struct{}) error {
+	g := sgnetd.NewGateway(mature)
+	addr, err := g.Start(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sgnet-gateway: listening on %s\n", addr)
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		ch := make(chan struct{})
+		go func() {
+			<-sig
+			close(ch)
+		}()
+		stop = ch
+	}
+	<-stop
+
+	if err := g.Close(); err != nil {
+		return err
+	}
+	g.Wait()
+	stats := g.Stats()
+	fmt.Fprintf(os.Stderr,
+		"sgnet-gateway: %d connections, %d oracle consultations, %d events, knowledge version %d\n",
+		stats.Connections, stats.Observes, stats.Events, g.Version())
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.Dataset().WriteJSONL(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

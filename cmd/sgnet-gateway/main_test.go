@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sgnetd"
+	"repro/internal/simtime"
+)
+
+func TestRunServesAndWritesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "events.jsonl")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run("127.0.0.1:7171", 3, out, stop)
+	}()
+
+	// Wait for the listener, then drive it with a sensor.
+	var sensor *sgnetd.Sensor
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		sensor, err = sgnetd.Dial("127.0.0.1:7171", "s1")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("gateway never came up: %v (run: %v)", err, runErr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ev := dataset.Event{
+		ID:              "ev-1",
+		Time:            simtime.WeekStart(1),
+		Attacker:        "1.2.3.4",
+		Sensor:          "5.6.7.8",
+		DestPort:        445,
+		DownloadOutcome: "failed",
+		Protocol:        "unknown",
+		Interaction:     "unknown",
+	}
+	if err := sensor.Report(ev); err != nil {
+		t.Fatal(err)
+	}
+	_ = sensor.Close()
+
+	close(stop)
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.EventCount() != 1 {
+		t.Errorf("collected %d events, want 1", ds.EventCount())
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	if err := run("256.0.0.1:99999", 0, "", nil); err == nil {
+		t.Error("invalid listen address must error")
+	}
+}

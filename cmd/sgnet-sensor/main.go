@@ -1,0 +1,115 @@
+// Command sgnet-sensor runs one honeypot sensor of a distributed SGNET
+// deployment: it connects to a gateway, provisions itself with the
+// current FSM models, then observes synthetic exploit traffic — handling
+// known activity locally and proxying unknown conversations to the
+// gateway oracle, exactly the division of labour of the paper's Figure 1.
+// Run several against one sgnet-gateway to watch the FSM knowledge
+// converge.
+//
+// Usage:
+//
+//	sgnet-sensor -gateway 127.0.0.1:7070 [-id sensor-01] [-attacks 50] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/exploit"
+	"repro/internal/sgnetd"
+	"repro/internal/simrng"
+	"repro/internal/simtime"
+)
+
+func main() {
+	gateway := flag.String("gateway", "127.0.0.1:7070", "gateway address")
+	id := flag.String("id", "sensor-01", "sensor identifier")
+	attacks := flag.Int("attacks", 50, "number of synthetic attacks to observe")
+	seed := flag.Uint64("seed", 1, "traffic seed")
+	flag.Parse()
+
+	if err := run(*gateway, *id, *attacks, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "sgnet-sensor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gateway, id string, attacks int, seed uint64) error {
+	if attacks < 1 {
+		return fmt.Errorf("need at least one attack, got %d", attacks)
+	}
+	sensor, err := sgnetd.Dial(gateway, id)
+	if err != nil {
+		return err
+	}
+	defer sensor.Close()
+
+	// A fixed slice of the threat landscape: three implementations over
+	// two vulnerable services. Every sensor sees the same implementations
+	// (seeded identically), as in a real deployment where the same worms
+	// hit every network.
+	impls, ports, err := trafficMix()
+	if err != nil {
+		return err
+	}
+
+	rng := simrng.New(seed)
+	r := rng.Stream("traffic")
+	for i := 0; i < attacks; i++ {
+		k := r.Intn(len(impls))
+		payload := make([]byte, 40+r.Intn(80))
+		r.Read(payload)
+		dialog := impls[k].Dialog(r, payload)
+		path, ok, err := sensor.Handle(ports[k], dialog.ClientMessages())
+		if err != nil {
+			return err
+		}
+		if !ok {
+			path = "immature"
+		}
+		ev := dataset.Event{
+			ID:              fmt.Sprintf("%s-ev-%06d", id, i),
+			Time:            simtime.WeekStart(1 + i%50),
+			Attacker:        fmt.Sprintf("198.51.%d.%d", r.Intn(256), r.Intn(256)),
+			Sensor:          id,
+			FSMPath:         path,
+			DestPort:        ports[k],
+			Protocol:        "unknown",
+			Interaction:     "unknown",
+			DownloadOutcome: "failed",
+		}
+		if err := sensor.Report(ev); err != nil {
+			return err
+		}
+	}
+	st := sensor.Stats()
+	fmt.Fprintf(os.Stderr, "sgnet-sensor %s: %d attacks, %d local, %d proxied, %d snapshots, fsm v%d\n",
+		id, attacks, st.Local, st.Proxied, st.SnapshotsApplied, sensor.Version())
+	return nil
+}
+
+// trafficMix builds the deterministic exploit implementations every
+// sensor observes.
+func trafficMix() ([]*exploit.Implementation, []int, error) {
+	asn1, err := exploit.NewVulnerability("asn1-ms04007", 445, 3, 1001)
+	if err != nil {
+		return nil, nil, err
+	}
+	dcom, err := exploit.NewVulnerability("dcom-ms03026", 135, 3, 1002)
+	if err != nil {
+		return nil, nil, err
+	}
+	var impls []*exploit.Implementation
+	var ports []int
+	for i, v := range []*exploit.Vulnerability{asn1, asn1, dcom} {
+		impl, err := exploit.NewImplementation(v, fmt.Sprintf("impl-%d", i), uint64(2000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		impls = append(impls, impl)
+		ports = append(ports, v.Port)
+	}
+	return impls, ports, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sgnetd"
+)
+
+func startGateway(t *testing.T) (*sgnetd.Gateway, string) {
+	t.Helper()
+	g := sgnetd.NewGateway(3)
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = g.Close()
+		g.Wait()
+	})
+	return g, addr.String()
+}
+
+func TestRunDrivesGateway(t *testing.T) {
+	g, addr := startGateway(t)
+	if err := run(addr, "sensor-a", 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.Stats()
+	if stats.Events != 30 {
+		t.Errorf("gateway collected %d events, want 30", stats.Events)
+	}
+	if stats.Observes == 0 {
+		t.Error("no conversations proxied; learning never happened")
+	}
+	if g.Version() == 0 {
+		t.Error("gateway FSM version never advanced")
+	}
+	// A second sensor profits from the first one's learning: nearly all
+	// of its traffic is handled locally.
+	before := g.Stats().Observes
+	if err := run(addr, "sensor-b", 30, 2); err != nil {
+		t.Fatal(err)
+	}
+	delta := g.Stats().Observes - before
+	if delta > 5 {
+		t.Errorf("second sensor proxied %d conversations; FSM sync not effective", delta)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, addr := startGateway(t)
+	if err := run(addr, "s", 0, 1); err == nil {
+		t.Error("zero attacks must error")
+	}
+	if err := run("127.0.0.1:1", "s", 5, 1); err == nil {
+		t.Error("unreachable gateway must error")
+	}
+}

@@ -1,0 +1,73 @@
+// Command sgnet-sim generates an SGNET-style dataset: it builds the
+// ground-truth landscape, simulates the honeypot deployment over the
+// study period, enriches the dataset (sandbox profiles, AV labels), and
+// writes the result as JSON lines.
+//
+// Usage:
+//
+//	sgnet-sim [-seed N] [-small] [-scenario file.json] [-o dataset.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2010, "scenario seed")
+	small := flag.Bool("small", false, "use the reduced scenario")
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides -small)")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	if err := run(*seed, *small, *scenarioPath, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "sgnet-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, small bool, scenarioPath, out string) error {
+	scenario := core.DefaultScenario()
+	if small {
+		scenario = core.SmallScenario()
+	}
+	if scenarioPath != "" {
+		loaded, err := core.LoadScenarioFile(scenarioPath)
+		if err != nil {
+			return err
+		}
+		scenario = loaded
+	}
+	scenario.Seed = seed
+
+	res, err := core.Run(scenario)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	if err := res.Dataset.WriteJSONL(w); err != nil {
+		return err
+	}
+
+	events, samples, executable, _, _, _, _ := res.Counts()
+	fmt.Fprintf(os.Stderr, "sgnet-sim: %d events, %d samples (%d executable), %d sensors, proxied=%d\n",
+		events, samples, executable,
+		len(res.Simulation.Deployment.Sensors()), res.Simulation.Stats.Proxied)
+	return nil
+}

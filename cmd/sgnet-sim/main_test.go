@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunWritesReadableDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dataset.jsonl")
+	if err := run(5, true, "", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.EventCount() == 0 || ds.SampleCount() == 0 {
+		t.Fatalf("dataset empty: %d events, %d samples", ds.EventCount(), ds.SampleCount())
+	}
+	// Enrichment state must round-trip through the file.
+	profiled := 0
+	for _, s := range ds.Samples() {
+		if len(s.Profile) > 0 {
+			profiled++
+		}
+	}
+	if profiled == 0 {
+		t.Error("no profiles survived serialization")
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	if err := run(1, true, "", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, true, "", b); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fa) == string(fb) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestRunRejectsBadPath(t *testing.T) {
+	if err := run(1, true, "", filepath.Join(t.TempDir(), "missing-dir", "x.jsonl")); err == nil {
+		t.Error("uncreatable output path must error")
+	}
+}

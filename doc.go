@@ -1,0 +1,16 @@
+// Package repro reproduces "Exploiting diverse observation perspectives
+// to get insights on the malware landscape" (Leita, Bayer, Kirda — DSN
+// 2010) as a self-contained Go library.
+//
+// The pipeline lives under internal/: a synthetic malware landscape
+// (malgen) observed by a simulated SGNET honeypot deployment (sgnet,
+// scriptgen, exploit, shellcode, pe, polymorph), enriched with dynamic
+// analysis (sandbox, enrich, avsim), clustered with the paper's EPM
+// technique (epm) and with behavior-based clustering (bcluster), and
+// analyzed across perspectives (analysis, report). Package internal/core
+// wires everything behind a single Scenario/Run entry point.
+//
+// The root-level benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation; see EXPERIMENTS.md for the measured
+// vs. reported comparison.
+package repro

@@ -1,0 +1,94 @@
+// Transfer: the π pipeline end to end. Encode a shellcode carrying
+// download instructions, recover them with the Nepenthes-style analyzer,
+// perform the emulated protocol transfer (with a deliberately induced
+// truncation on the second run), and extract the static features of
+// whatever the honeypot stored — showing where the corpus's corrupted
+// samples come from.
+//
+//	go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/download"
+	"repro/internal/netmodel"
+	"repro/internal/pe"
+	"repro/internal/shellcode"
+	"repro/internal/simrng"
+)
+
+func main() {
+	rng := simrng.New(7)
+	r := rng.Stream("example")
+
+	// The malware binary the attacker wants delivered.
+	binary := buildSample(rng)
+	fmt.Printf("attacker-side binary: %d bytes, md5 %s\n\n",
+		len(binary), pe.ExtractFeatures(binary).MD5[:12])
+
+	// The shellcode carries the download instructions, obfuscated behind
+	// a decoder stub.
+	spec := shellcode.Spec{
+		Protocol:    "ftp",
+		Interaction: shellcode.Pull,
+		Port:        21,
+		Filename:    "ftpupd.exe",
+	}
+	attacker := netmodel.MustParseIP("198.51.100.7")
+	sc, err := shellcode.Encode(spec, attacker, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	action, err := shellcode.Analyze(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzer recovered: %s %s from %s:%d, file %q\n\n",
+		action.Interaction, action.Protocol, action.Source, action.Port, action.Filename)
+
+	// A clean transfer.
+	run := func(title string, fm shellcode.FailureModel) {
+		stored, transcript, err := download.Run(action, binary, fm, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (%s) ==\n", title, transcript.Outcome)
+		for _, m := range transcript.Messages {
+			arrow := "->"
+			if m.Dir == download.Received {
+				arrow = "<-"
+			}
+			fmt.Printf("  %s %-22s %d bytes\n", arrow, m.Note, len(m.Data))
+		}
+		ft := pe.ExtractFeatures(stored)
+		fmt.Printf("stored %d bytes; libmagic: %q; executable: %v\n\n", ft.Size, ft.Magic, ft.IsPE)
+	}
+	run("clean transfer", shellcode.FailureModel{})
+	run("truncated transfer", shellcode.FailureModel{TruncateProb: 1})
+}
+
+func buildSample(rng *simrng.Source) []byte {
+	r := rng.Stream("binary")
+	text := make([]byte, 24*1024)
+	data := make([]byte, 8*1024)
+	r.Read(text)
+	r.Read(data)
+	img := &pe.Image{
+		Machine:     pe.MachineI386,
+		Subsystem:   pe.SubsystemGUI,
+		LinkerMajor: 9, LinkerMinor: 2,
+		OSMajor: 6, OSMinor: 4,
+		Sections: []pe.Section{
+			{Name: ".text", Data: text, Characteristics: pe.SectionCode | pe.SectionExecute | pe.SectionRead},
+			{Name: ".data", Data: data, Characteristics: pe.SectionInitializedData | pe.SectionRead | pe.SectionWrite},
+		},
+		Imports: []pe.Import{{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA"}}},
+	}
+	raw, err := img.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return raw
+}

@@ -1,0 +1,354 @@
+// Package analysis implements the paper's cross-perspective analyses: the
+// EPM↔behaviour relationship graph (Figure 3), the size-1 B-cluster
+// anomaly detection (§4.2, Figure 4), the propagation-context profiles
+// (§4.3, Figure 5), and the IRC C&C correlation (Table 2).
+//
+// All analyses consume only the dataset observables (events, samples,
+// profiles) and the cluster assignments; ground-truth fields are never
+// read.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bcluster"
+	"repro/internal/dataset"
+	"repro/internal/epm"
+)
+
+// CrossMap joins the M (static) and B (behavioral) perspectives at the
+// sample level.
+type CrossMap struct {
+	// SampleM maps a sample MD5 to its M-cluster index (every event of a
+	// sample carries identical μ features, hence one M-cluster).
+	SampleM map[string]int
+	// SampleB maps a sample MD5 to its B-cluster index (executable
+	// samples only).
+	SampleB map[string]int
+	// MtoB counts samples per (M-cluster, B-cluster) pair.
+	MtoB map[int]map[int]int
+	// BtoM counts samples per (B-cluster, M-cluster) pair.
+	BtoM map[int]map[int]int
+}
+
+// BuildCrossMap constructs the M↔B join.
+func BuildCrossMap(ds *dataset.Dataset, mClu *epm.Clustering, b *bcluster.Result) (*CrossMap, error) {
+	if ds == nil || mClu == nil || b == nil {
+		return nil, fmt.Errorf("analysis: BuildCrossMap needs dataset, M clustering, and B clustering")
+	}
+	cm := &CrossMap{
+		SampleM: make(map[string]int),
+		SampleB: make(map[string]int),
+		MtoB:    make(map[int]map[int]int),
+		BtoM:    make(map[int]map[int]int),
+	}
+	for _, e := range ds.Events() {
+		if !e.HasSample() {
+			continue
+		}
+		if _, seen := cm.SampleM[e.Sample.MD5]; seen {
+			continue
+		}
+		m := mClu.ClusterOf(e.ID)
+		if m < 0 {
+			return nil, fmt.Errorf("analysis: event %s not in M clustering", e.ID)
+		}
+		cm.SampleM[e.Sample.MD5] = m
+	}
+	for md5, m := range cm.SampleM {
+		bi := b.ClusterOf(md5)
+		if bi < 0 {
+			continue // not executable, never clustered behaviorally
+		}
+		cm.SampleB[md5] = bi
+		if cm.MtoB[m] == nil {
+			cm.MtoB[m] = make(map[int]int)
+		}
+		cm.MtoB[m][bi]++
+		if cm.BtoM[bi] == nil {
+			cm.BtoM[bi] = make(map[int]int)
+		}
+		cm.BtoM[bi][m]++
+	}
+	return cm, nil
+}
+
+// MultiMBClusters returns the B-cluster indices associated with more than
+// one M-cluster, ordered by B-cluster size (largest first). These are the
+// Figure 5 candidates.
+func (cm *CrossMap) MultiMBClusters(b *bcluster.Result) []int {
+	var out []int
+	for bi, ms := range cm.BtoM {
+		if len(ms) > 1 {
+			out = append(out, bi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := b.Clusters[out[i]].Size(), b.Clusters[out[j]].Size()
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// RelationGraph is the 4-layer E→P→M→B graph of Figure 3, filtered to
+// clusters with at least MinSize attack events.
+type RelationGraph struct {
+	MinSize int
+	// Layer node IDs that survive the filter, sorted.
+	ENodes, PNodes, MNodes, BNodes []int
+	// Edges between adjacent layers, weighted by co-occurring events
+	// (E→P, P→M) or samples (M→B).
+	EP map[int]map[int]int
+	PM map[int]map[int]int
+	MB map[int]map[int]int
+}
+
+// BuildRelationGraph constructs the filtered relationship graph.
+func BuildRelationGraph(ds *dataset.Dataset, eClu, pClu, mClu *epm.Clustering, b *bcluster.Result, cm *CrossMap, minSize int) (*RelationGraph, error) {
+	if ds == nil || eClu == nil || pClu == nil || mClu == nil || b == nil || cm == nil {
+		return nil, fmt.Errorf("analysis: BuildRelationGraph needs every clustering")
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	g := &RelationGraph{
+		MinSize: minSize,
+		EP:      make(map[int]map[int]int),
+		PM:      make(map[int]map[int]int),
+		MB:      make(map[int]map[int]int),
+	}
+
+	keepE := filterBySize(eClu, minSize)
+	keepP := filterBySize(pClu, minSize)
+	keepM := filterBySize(mClu, minSize)
+
+	// B-cluster size in events: sum of event counts of member samples.
+	bEvents := make(map[int]int)
+	for md5, bi := range cm.SampleB {
+		if s := ds.Sample(md5); s != nil {
+			bEvents[bi] += s.Events
+		}
+	}
+	keepB := make(map[int]bool)
+	for bi, n := range bEvents {
+		if n >= minSize {
+			keepB[bi] = true
+		}
+	}
+
+	for _, e := range ds.Events() {
+		ei, pi := eClu.ClusterOf(e.ID), pClu.ClusterOf(e.ID)
+		if keepE[ei] && keepP[pi] {
+			addEdge(g.EP, ei, pi)
+		}
+		if !e.HasSample() {
+			continue
+		}
+		mi := mClu.ClusterOf(e.ID)
+		if keepP[pi] && keepM[mi] {
+			addEdge(g.PM, pi, mi)
+		}
+	}
+	for md5, mi := range cm.SampleM {
+		bi, ok := cm.SampleB[md5]
+		if !ok {
+			continue
+		}
+		if keepM[mi] && keepB[bi] {
+			addEdge(g.MB, mi, bi)
+		}
+	}
+
+	g.ENodes = sortedKeysOf(keepE)
+	g.PNodes = sortedKeysOf(keepP)
+	g.MNodes = sortedKeysOf(keepM)
+	g.BNodes = sortedKeysOf(keepB)
+	return g, nil
+}
+
+func filterBySize(c *epm.Clustering, minSize int) map[int]bool {
+	keep := make(map[int]bool)
+	for _, cl := range c.Clusters {
+		if cl.Size() >= minSize {
+			keep[cl.ID] = true
+		}
+	}
+	return keep
+}
+
+func addEdge(adj map[int]map[int]int, from, to int) {
+	if adj[from] == nil {
+		adj[from] = make(map[int]int)
+	}
+	adj[from][to]++
+}
+
+func sortedKeysOf(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EdgeCount returns the number of distinct edges in an adjacency map.
+func EdgeCount(adj map[int]map[int]int) int {
+	n := 0
+	for _, tos := range adj {
+		n += len(tos)
+	}
+	return n
+}
+
+// FanIn returns, for each target node, how many distinct sources point at
+// it — e.g. how many E-clusters share one P-cluster.
+func FanIn(adj map[int]map[int]int) map[int]int {
+	in := make(map[int]int)
+	for _, tos := range adj {
+		for to := range tos {
+			in[to]++
+		}
+	}
+	return in
+}
+
+// Size1Report is the §4.2 / Figure 4 analysis of single-sample
+// B-clusters.
+type Size1Report struct {
+	// TotalB and Size1B are the overall and singleton B-cluster counts
+	// (the paper: 860 of 972).
+	TotalB int
+	Size1B int
+	// OneToOne counts singletons whose M-cluster also contains only that
+	// sample — genuinely rare malware, not an anomaly.
+	OneToOne int
+	// Anomalous lists singleton samples whose M-cluster holds other
+	// samples that landed in a larger B-cluster: the clustering artifacts.
+	Anomalous []AnomalousSample
+	// AVNames histograms the AV labels of the anomalous samples
+	// (Figure 4 top).
+	AVNames map[string]int
+	// EPCombos histograms the (E-cluster, P-cluster) propagation
+	// coordinates of the anomalous samples (Figure 4 bottom).
+	EPCombos map[string]int
+}
+
+// AnomalousSample is one detected clustering artifact.
+type AnomalousSample struct {
+	MD5 string
+	// BCluster is the singleton B-cluster.
+	BCluster int
+	// MCluster is the sample's static cluster.
+	MCluster int
+	// MClusterSize is the number of samples in the M-cluster.
+	MClusterSize int
+	// DominantB is the largest other B-cluster of the M-cluster.
+	DominantB int
+	// DominantBSize is its sample count within the M-cluster.
+	DominantBSize int
+}
+
+// FindSize1Anomalies detects the size-1 B-cluster artifacts by combining
+// the static and behavioral perspectives, exactly as §4.2 argues: a
+// singleton whose static cluster is otherwise concentrated in a larger
+// B-cluster is a likely misclassification.
+func FindSize1Anomalies(ds *dataset.Dataset, eClu, pClu *epm.Clustering, b *bcluster.Result, cm *CrossMap) (*Size1Report, error) {
+	if ds == nil || eClu == nil || pClu == nil || b == nil || cm == nil {
+		return nil, fmt.Errorf("analysis: FindSize1Anomalies needs every clustering")
+	}
+	// Samples per M-cluster.
+	mSize := make(map[int]int)
+	for _, m := range cm.SampleM {
+		mSize[m]++
+	}
+
+	rep := &Size1Report{
+		TotalB:   len(b.Clusters),
+		AVNames:  make(map[string]int),
+		EPCombos: make(map[string]int),
+	}
+	for _, cl := range b.Clusters {
+		if cl.Size() != 1 {
+			continue
+		}
+		rep.Size1B++
+		md5 := cl.Members[0]
+		m, ok := cm.SampleM[md5]
+		if !ok {
+			continue
+		}
+		if mSize[m] <= 1 {
+			rep.OneToOne++
+			continue
+		}
+		// Find the dominant other B-cluster of this M-cluster.
+		domB, domN := -1, 0
+		for bi, n := range cm.MtoB[m] {
+			if bi == cl.ID {
+				continue
+			}
+			if n > domN || (n == domN && bi < domB) {
+				domB, domN = bi, n
+			}
+		}
+		if domB < 0 || domN < 2 {
+			// No larger sibling cluster: not enough evidence of anomaly.
+			rep.OneToOne++
+			continue
+		}
+		a := AnomalousSample{
+			MD5:           md5,
+			BCluster:      cl.ID,
+			MCluster:      m,
+			MClusterSize:  mSize[m],
+			DominantB:     domB,
+			DominantBSize: domN,
+		}
+		rep.Anomalous = append(rep.Anomalous, a)
+
+		if s := ds.Sample(md5); s != nil {
+			label := s.AVLabel
+			if label == "" {
+				label = "(undetected)"
+			}
+			rep.AVNames[label]++
+		}
+		if evs := ds.EventsOfSample(md5); len(evs) > 0 {
+			ei := eClu.ClusterOf(evs[0].ID)
+			pi := pClu.ClusterOf(evs[0].ID)
+			rep.EPCombos[fmt.Sprintf("E%d/P%d", ei, pi)]++
+		}
+	}
+	sort.Slice(rep.Anomalous, func(i, j int) bool { return rep.Anomalous[i].MD5 < rep.Anomalous[j].MD5 })
+	return rep, nil
+}
+
+// TopCounts returns the n largest entries of a histogram as (key, count)
+// pairs, ties broken by key.
+func TopCounts(hist map[string]int, n int) []KV {
+	out := make([]KV, 0, len(hist))
+	for k, v := range hist {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].K < out[j].K
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// KV is a histogram entry.
+type KV struct {
+	K string
+	N int
+}

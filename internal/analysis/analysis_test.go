@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bcluster"
+	"repro/internal/dataset"
+	"repro/internal/enrich"
+	"repro/internal/epm"
+	"repro/internal/malgen"
+	"repro/internal/sgnet"
+	"repro/internal/simrng"
+)
+
+// scenario is a fully simulated, enriched, and clustered small landscape
+// shared by the analysis tests.
+type scenario struct {
+	landscape *malgen.Landscape
+	ds        *dataset.Dataset
+	eClu      *epm.Clustering
+	pClu      *epm.Clustering
+	mClu      *epm.Clustering
+	b         *bcluster.Result
+	cm        *CrossMap
+}
+
+func buildScenario(t *testing.T, seed uint64) *scenario {
+	t.Helper()
+	rng := simrng.New(seed)
+	l, err := malgen.Generate(malgen.SmallConfig(), rng.Child("landscape"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sgnet.Simulate(l, sgnet.DefaultConfig(), rng.Child("sgnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := enrich.New(l, enrich.DefaultConfig(), rng.Child("enrich"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := pipe.Enrich(sim.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := epm.DefaultThresholds()
+	eClu, err := epm.Run(dataset.EpsilonSchema, sim.Dataset.EpsilonInstances(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pClu, err := epm.Run(dataset.PiSchema, sim.Dataset.PiInstances(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mClu, err := epm.Run(dataset.MuSchema, sim.Dataset.MuInstances(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := BuildCrossMap(sim.Dataset, mClu, eres.BClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scenario{
+		landscape: l,
+		ds:        sim.Dataset,
+		eClu:      eClu,
+		pClu:      pClu,
+		mClu:      mClu,
+		b:         eres.BClusters,
+		cm:        cm,
+	}
+}
+
+func TestBuildCrossMapValidation(t *testing.T) {
+	if _, err := BuildCrossMap(nil, nil, nil); err == nil {
+		t.Error("nil inputs must error")
+	}
+}
+
+func TestCrossMapConsistency(t *testing.T) {
+	s := buildScenario(t, 1)
+	if len(s.cm.SampleM) != s.ds.SampleCount() {
+		t.Errorf("SampleM covers %d of %d samples", len(s.cm.SampleM), s.ds.SampleCount())
+	}
+	if len(s.cm.SampleB) != s.ds.ExecutableSampleCount() {
+		t.Errorf("SampleB covers %d of %d executable samples", len(s.cm.SampleB), s.ds.ExecutableSampleCount())
+	}
+	// MtoB totals must equal executable sample count.
+	total := 0
+	for _, bs := range s.cm.MtoB {
+		for _, n := range bs {
+			total += n
+		}
+	}
+	if total != len(s.cm.SampleB) {
+		t.Errorf("MtoB total = %d, want %d", total, len(s.cm.SampleB))
+	}
+	// BtoM must be the transpose of MtoB.
+	for m, bs := range s.cm.MtoB {
+		for b, n := range bs {
+			if s.cm.BtoM[b][m] != n {
+				t.Fatalf("transpose mismatch at M%d/B%d", m, b)
+			}
+		}
+	}
+}
+
+func TestWormMtoBCollapse(t *testing.T) {
+	// The paper's headline relation: many M-clusters map onto few
+	// B-clusters for the polymorphic worm.
+	s := buildScenario(t, 2)
+	worm := s.landscape.Families[0]
+
+	wormM := map[int]bool{}
+	wormB := map[int]bool{}
+	for _, smp := range s.ds.Samples() {
+		if smp.TruthFamily != worm.Name || !smp.Executable {
+			continue
+		}
+		wormM[s.cm.SampleM[smp.MD5]] = true
+		if b, ok := s.cm.SampleB[smp.MD5]; ok {
+			if s.b.Clusters[b].Size() > 1 {
+				wormB[b] = true
+			}
+		}
+	}
+	if len(wormM) < 3 {
+		t.Fatalf("worm spans only %d M-clusters", len(wormM))
+	}
+	if len(wormB) == 0 || len(wormB) > 3 {
+		t.Errorf("worm non-singleton B-clusters = %d, want 1-3 (two generations)", len(wormB))
+	}
+	if len(wormM) <= len(wormB) {
+		t.Errorf("M-clusters (%d) must exceed B-clusters (%d) for the worm", len(wormM), len(wormB))
+	}
+}
+
+func TestRelationGraph(t *testing.T) {
+	s := buildScenario(t, 3)
+	g, err := BuildRelationGraph(s.ds, s.eClu, s.pClu, s.mClu, s.b, s.cm, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ENodes) == 0 || len(g.PNodes) == 0 || len(g.MNodes) == 0 {
+		t.Fatalf("empty layers: E=%d P=%d M=%d B=%d", len(g.ENodes), len(g.PNodes), len(g.MNodes), len(g.BNodes))
+	}
+	// Figure 3 shape: few E/P combos relative to M-cluster count.
+	if EdgeCount(g.EP) > len(g.MNodes) {
+		t.Errorf("E/P combinations (%d) should be low relative to M-clusters (%d)",
+			EdgeCount(g.EP), len(g.MNodes))
+	}
+	// Every edge endpoint must be a surviving node.
+	inE := toSet(g.ENodes)
+	inP := toSet(g.PNodes)
+	for e, ps := range g.EP {
+		if !inE[e] {
+			t.Fatalf("EP edge from filtered-out E%d", e)
+		}
+		for p := range ps {
+			if !inP[p] {
+				t.Fatalf("EP edge to filtered-out P%d", p)
+			}
+		}
+	}
+	// Filtered B-cluster count must not exceed filtered M-cluster count
+	// (the paper's third observation).
+	if len(g.BNodes) > len(g.MNodes) {
+		t.Errorf("filtered B-clusters (%d) exceed filtered M-clusters (%d)", len(g.BNodes), len(g.MNodes))
+	}
+}
+
+func toSet(xs []int) map[int]bool {
+	m := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+func TestRelationGraphMinSizeDefaultsToOne(t *testing.T) {
+	s := buildScenario(t, 3)
+	g, err := BuildRelationGraph(s.ds, s.eClu, s.pClu, s.mClu, s.b, s.cm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MinSize != 1 {
+		t.Errorf("MinSize = %d", g.MinSize)
+	}
+	if len(g.MNodes) != len(s.mClu.Clusters) {
+		t.Errorf("unfiltered graph must keep all M-clusters")
+	}
+}
+
+func TestSize1Anomalies(t *testing.T) {
+	s := buildScenario(t, 4)
+	rep, err := FindSize1Anomalies(s.ds, s.eClu, s.pClu, s.b, s.cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalB != len(s.b.Clusters) {
+		t.Errorf("TotalB = %d", rep.TotalB)
+	}
+	if rep.Size1B == 0 {
+		t.Fatal("no singleton B-clusters found")
+	}
+	if len(rep.Anomalous) == 0 {
+		t.Fatal("no anomalies detected; the fragility artifact is missing")
+	}
+	if rep.Size1B < len(rep.Anomalous)+rep.OneToOne {
+		t.Errorf("accounting: %d singletons < %d anomalous + %d one-to-one",
+			rep.Size1B, len(rep.Anomalous), rep.OneToOne)
+	}
+	// Figure 4 shape: the anomalous population must be dominated by the
+	// worm's AV family (Rahack) and by a single E/P combination.
+	top := TopCounts(rep.AVNames, 1)
+	if len(top) == 0 || !strings.HasPrefix(top[0].K, "W32.Rahack") {
+		t.Errorf("dominant AV name = %+v, want W32.Rahack.*", top)
+	}
+	epTop := TopCounts(rep.EPCombos, 1)
+	if len(epTop) == 0 {
+		t.Fatal("no EP combos")
+	}
+	if frac := float64(epTop[0].N) / float64(len(rep.Anomalous)); frac < 0.5 {
+		t.Errorf("dominant EP combo covers only %.2f of anomalies", frac)
+	}
+	// Every anomaly must reference a real dominant cluster.
+	for _, a := range rep.Anomalous {
+		if a.DominantB < 0 || a.DominantBSize < 2 || a.MClusterSize < 2 {
+			t.Errorf("weak anomaly evidence: %+v", a)
+		}
+	}
+}
+
+func TestPropagationContext(t *testing.T) {
+	s := buildScenario(t, 5)
+	multi := s.cm.MultiMBClusters(s.b)
+	if len(multi) == 0 {
+		t.Fatal("no B-cluster with multiple M-clusters")
+	}
+	rep, err := PropagationContext(s.ds, s.mClu, s.b, s.cm, multi[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerM) < 2 {
+		t.Fatalf("PerM = %d, want >= 2", len(rep.PerM))
+	}
+	for _, mc := range rep.PerM {
+		if mc.Events == 0 || mc.Samples == 0 {
+			t.Errorf("empty M context: %+v", mc)
+		}
+		if mc.Attackers == 0 {
+			t.Errorf("M%d has no attackers", mc.MCluster)
+		}
+		sum := 0
+		for _, n := range mc.Timeline {
+			sum += n
+		}
+		if sum != mc.Events {
+			t.Errorf("M%d timeline sums to %d, events = %d", mc.MCluster, sum, mc.Events)
+		}
+		if mc.ActiveWeeks > mc.SpanWeeks {
+			t.Errorf("M%d active weeks %d > span %d", mc.MCluster, mc.ActiveWeeks, mc.SpanWeeks)
+		}
+		if len(mc.IPHistogram) != 16 {
+			t.Errorf("M%d histogram buckets = %d", mc.MCluster, len(mc.IPHistogram))
+		}
+	}
+	// Sorted by event count, largest first.
+	for i := 1; i < len(rep.PerM); i++ {
+		if rep.PerM[i].Events > rep.PerM[i-1].Events {
+			t.Error("PerM not sorted by events")
+		}
+	}
+}
+
+func TestPropagationContextWormVsBot(t *testing.T) {
+	s := buildScenario(t, 6)
+
+	// Find the worm's biggest B-cluster and a bot B-cluster through truth.
+	worm := s.landscape.Families[0]
+	var wormB, botB = -1, -1
+	for _, smp := range s.ds.Samples() {
+		if !smp.Executable {
+			continue
+		}
+		b, ok := s.cm.SampleB[smp.MD5]
+		if !ok || s.b.Clusters[b].Size() < 2 {
+			continue
+		}
+		if smp.TruthFamily == worm.Name && wormB < 0 {
+			wormB = b
+		}
+		if strings.HasPrefix(smp.TruthFamily, "bot") && botB < 0 {
+			botB = b
+		}
+	}
+	if wormB < 0 || botB < 0 {
+		t.Skip("missing worm or bot multi-sample B-cluster in this seed")
+	}
+	wormRep, err := PropagationContext(s.ds, s.mClu, s.b, s.cm, wormB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	botRep, err := PropagationContext(s.ds, s.mClu, s.b, s.cm, botB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5 contrast: worm populations widespread, bot populations
+	// localized.
+	if wf := wormRep.WidespreadFraction(); wf < 0.5 {
+		t.Errorf("worm widespread fraction = %.2f", wf)
+	}
+	if bf := botRep.WidespreadFraction(); bf > 0.5 {
+		t.Errorf("bot widespread fraction = %.2f, want localized", bf)
+	}
+}
+
+func TestIRCCorrelation(t *testing.T) {
+	s := buildScenario(t, 7)
+	rows, err := IRCCorrelation(s.ds, s.cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no IRC rows recovered")
+	}
+	for _, r := range rows {
+		if r.Server == "" || r.Room == "" || len(r.MClusters) == 0 {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+	// Ground truth check: every recovered (server, room) must exist in the
+	// landscape's channel truth.
+	truth := map[string]bool{}
+	for _, ch := range s.landscape.Channels {
+		truth[ch.Server.String()+"/"+ch.Room] = true
+	}
+	for _, r := range rows {
+		if !truth[r.Server+"/"+r.Room] {
+			t.Errorf("recovered channel %s/%s not in ground truth", r.Server, r.Room)
+		}
+	}
+}
+
+func TestSharedSubnetsAndRecurringRooms(t *testing.T) {
+	rows := []IRCRow{
+		{Server: "67.43.232.34", Room: "#kok8", MClusters: []int{1}},
+		{Server: "67.43.232.35", Room: "#kok6", MClusters: []int{2}},
+		{Server: "67.43.232.36", Room: "#kok6", MClusters: []int{3}},
+		{Server: "72.10.172.211", Room: "#las6", MClusters: []int{4}},
+	}
+	nets := SharedSubnets(rows)
+	if len(nets) != 1 {
+		t.Fatalf("shared subnets = %v", nets)
+	}
+	if got := nets["67.43.232.0/24"]; len(got) != 3 {
+		t.Errorf("67.43.232.0/24 servers = %v", got)
+	}
+	rooms := RecurringRooms(rows)
+	if got := rooms["#kok6"]; len(got) != 2 {
+		t.Errorf("#kok6 servers = %v", got)
+	}
+	if _, ok := rooms["#las6"]; ok {
+		t.Error("#las6 used on one server must not recur")
+	}
+}
+
+func TestTimelineString(t *testing.T) {
+	got := TimelineString([]int{0, 1, 5, 20})
+	if got != ".+*#" {
+		t.Errorf("TimelineString = %q", got)
+	}
+}
+
+func TestTopCounts(t *testing.T) {
+	hist := map[string]int{"a": 3, "b": 5, "c": 3}
+	top := TopCounts(hist, 2)
+	if len(top) != 2 || top[0].K != "b" || top[1].K != "a" {
+		t.Errorf("TopCounts = %+v", top)
+	}
+}
+
+func TestBurstyClassifier(t *testing.T) {
+	bursty := MContext{ActiveWeeks: 3, SpanWeeks: 12}
+	if !bursty.Bursty() {
+		t.Error("3 active of 12 weeks must be bursty")
+	}
+	steady := MContext{ActiveWeeks: 11, SpanWeeks: 12}
+	if steady.Bursty() {
+		t.Error("11 active of 12 weeks must not be bursty")
+	}
+	short := MContext{ActiveWeeks: 1, SpanWeeks: 1}
+	if short.Bursty() {
+		t.Error("single-week activity must not be bursty")
+	}
+}
+
+func TestPropagationContextErrors(t *testing.T) {
+	s := buildScenario(t, 8)
+	if _, err := PropagationContext(nil, nil, nil, nil, 0); err == nil {
+		t.Error("nil inputs must error")
+	}
+	if _, err := PropagationContext(s.ds, s.mClu, s.b, s.cm, -1); err == nil {
+		t.Error("out-of-range cluster must error")
+	}
+	if _, err := PropagationContext(s.ds, s.mClu, s.b, s.cm, len(s.b.Clusters)); err == nil {
+		t.Error("out-of-range cluster must error")
+	}
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bcluster"
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/epm"
+	"repro/internal/netmodel"
+	"repro/internal/simtime"
+)
+
+// MContext is the propagation context of one M-cluster inside a B-cluster
+// (one column of Figure 5).
+type MContext struct {
+	MCluster int
+	// Samples and Events count the cluster's members and their attacks.
+	Samples int
+	Events  int
+	// Attackers is the number of distinct attacking hosts.
+	Attackers int
+	// Slash24s is the number of distinct attacker /24 networks: low values
+	// indicate a localized, bot-like population.
+	Slash24s int
+	// IPHistogram buckets the attacker addresses over the IP space
+	// (Figure 5 top).
+	IPHistogram []int
+	// ActiveWeeks is the number of week buckets with at least one event
+	// (Figure 5 middle).
+	ActiveWeeks int
+	// SpanWeeks is the distance between first and last active week,
+	// inclusive.
+	SpanWeeks int
+	// Timeline is the per-week event count over the study (Figure 5
+	// bottom).
+	Timeline []int
+	// Locations is the set of deployment locations hit, in first-hit
+	// order; bursts hitting different locations at different times are the
+	// paper's evidence of coordinated behaviour.
+	Locations []int
+}
+
+// Bursty reports whether the activity looks coordinated: few active weeks
+// relative to the span, i.e. the timeline is gap-dominated.
+func (mc MContext) Bursty() bool {
+	return mc.SpanWeeks >= 4 && float64(mc.ActiveWeeks) <= 0.5*float64(mc.SpanWeeks)
+}
+
+// ContextReport is the Figure 5 analysis for one B-cluster.
+type ContextReport struct {
+	BCluster int
+	// BSize is the B-cluster's sample count.
+	BSize int
+	PerM  []MContext
+}
+
+// WidespreadFraction returns the fraction of per-M populations whose
+// attacker /24 spread is at least half their attacker count — a proxy for
+// "spread over most of the IP space".
+func (cr *ContextReport) WidespreadFraction() float64 {
+	if len(cr.PerM) == 0 {
+		return 0
+	}
+	n := 0
+	for _, mc := range cr.PerM {
+		if mc.Attackers > 0 && float64(mc.Slash24s) >= 0.5*float64(mc.Attackers) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cr.PerM))
+}
+
+// PropagationContext computes the Figure 5 view: the propagation context
+// of every M-cluster associated with the given B-cluster.
+func PropagationContext(ds *dataset.Dataset, mClu *epm.Clustering, b *bcluster.Result, cm *CrossMap, bIdx int) (*ContextReport, error) {
+	if ds == nil || mClu == nil || b == nil || cm == nil {
+		return nil, fmt.Errorf("analysis: PropagationContext needs dataset and clusterings")
+	}
+	if bIdx < 0 || bIdx >= len(b.Clusters) {
+		return nil, fmt.Errorf("analysis: B-cluster %d out of range", bIdx)
+	}
+	rep := &ContextReport{BCluster: bIdx, BSize: b.Clusters[bIdx].Size()}
+
+	// Group the B-cluster's samples by M-cluster.
+	samplesByM := make(map[int][]string)
+	for _, md5 := range b.Clusters[bIdx].Members {
+		m, ok := cm.SampleM[md5]
+		if !ok {
+			continue
+		}
+		samplesByM[m] = append(samplesByM[m], md5)
+	}
+
+	weeks := simtime.WeekCount()
+	for _, m := range sortedIntKeys(samplesByM) {
+		mc := MContext{MCluster: m, Timeline: make([]int, weeks)}
+		attackers := make(map[netmodel.IP]bool)
+		locSeen := make(map[int]bool)
+		for _, md5 := range samplesByM[m] {
+			mc.Samples++
+			for _, e := range ds.EventsOfSample(md5) {
+				mc.Events++
+				if ip, err := netmodel.ParseIP(e.Attacker); err == nil {
+					attackers[ip] = true
+				}
+				if w := simtime.WeekIndex(e.Time); w >= 0 && w < weeks {
+					mc.Timeline[w]++
+				}
+				if !locSeen[e.SensorLocation] {
+					locSeen[e.SensorLocation] = true
+					mc.Locations = append(mc.Locations, e.SensorLocation)
+				}
+			}
+		}
+		ips := make([]netmodel.IP, 0, len(attackers))
+		for ip := range attackers {
+			ips = append(ips, ip)
+		}
+		sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
+		mc.Attackers = len(ips)
+		mc.Slash24s = netmodel.Population{Hosts: ips}.Slash24Spread()
+		mc.IPHistogram = netmodel.IPSpaceHistogram(ips, 16)
+
+		first, last := -1, -1
+		for w, n := range mc.Timeline {
+			if n == 0 {
+				continue
+			}
+			mc.ActiveWeeks++
+			if first < 0 {
+				first = w
+			}
+			last = w
+		}
+		if first >= 0 {
+			mc.SpanWeeks = last - first + 1
+		}
+		rep.PerM = append(rep.PerM, mc)
+	}
+	// Largest M-clusters first, for display parity with the figure.
+	sort.Slice(rep.PerM, func(i, j int) bool {
+		if rep.PerM[i].Events != rep.PerM[j].Events {
+			return rep.PerM[i].Events > rep.PerM[j].Events
+		}
+		return rep.PerM[i].MCluster < rep.PerM[j].MCluster
+	})
+	return rep, nil
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IRCRow is one row of Table 2: an IRC server/room and the M-clusters
+// whose samples received commands through it.
+type IRCRow struct {
+	Server    string
+	Port      int
+	Room      string
+	MClusters []int
+}
+
+// IRCCorrelation recovers Table 2 from the behavioral profiles: every
+// executable sample's profile is scanned for IRC C&C features, which are
+// then grouped by (server, room) and mapped to the samples' M-clusters.
+func IRCCorrelation(ds *dataset.Dataset, cm *CrossMap) ([]IRCRow, error) {
+	if ds == nil || cm == nil {
+		return nil, fmt.Errorf("analysis: IRCCorrelation needs dataset and cross map")
+	}
+	type key struct {
+		server string
+		port   int
+		room   string
+	}
+	rows := make(map[key]map[int]bool)
+	for _, s := range ds.Samples() {
+		m, ok := cm.SampleM[s.MD5]
+		if !ok {
+			continue
+		}
+		for _, f := range s.Profile {
+			server, port, room, ok := behavior.ParseIRCFeature(f)
+			if !ok {
+				continue
+			}
+			k := key{server, port, room}
+			if rows[k] == nil {
+				rows[k] = make(map[int]bool)
+			}
+			rows[k][m] = true
+		}
+	}
+	out := make([]IRCRow, 0, len(rows))
+	for k, ms := range rows {
+		row := IRCRow{Server: k.server, Port: k.port, Room: k.room}
+		row.MClusters = sortedIntKeys(ms)
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Server != out[j].Server {
+			return out[i].Server < out[j].Server
+		}
+		return out[i].Room < out[j].Room
+	})
+	return out, nil
+}
+
+// SharedSubnets groups the servers of the IRC rows by /24 prefix,
+// returning prefixes hosting at least two distinct servers — the paper's
+// evidence that one organization maintains multiple botnets.
+func SharedSubnets(rows []IRCRow) map[string][]string {
+	byNet := make(map[string]map[string]bool)
+	for _, r := range rows {
+		ip, err := netmodel.ParseIP(r.Server)
+		if err != nil {
+			continue
+		}
+		net := ip.Slash24().String()
+		if byNet[net] == nil {
+			byNet[net] = make(map[string]bool)
+		}
+		byNet[net][r.Server] = true
+	}
+	out := make(map[string][]string)
+	for net, servers := range byNet {
+		if len(servers) < 2 {
+			continue
+		}
+		list := make([]string, 0, len(servers))
+		for s := range servers {
+			list = append(list, s)
+		}
+		sort.Strings(list)
+		out[net] = list
+	}
+	return out
+}
+
+// RecurringRooms returns room names used on more than one server.
+func RecurringRooms(rows []IRCRow) map[string][]string {
+	byRoom := make(map[string]map[string]bool)
+	for _, r := range rows {
+		if byRoom[r.Room] == nil {
+			byRoom[r.Room] = make(map[string]bool)
+		}
+		byRoom[r.Room][r.Server] = true
+	}
+	out := make(map[string][]string)
+	for room, servers := range byRoom {
+		if len(servers) < 2 {
+			continue
+		}
+		list := make([]string, 0, len(servers))
+		for s := range servers {
+			list = append(list, s)
+		}
+		sort.Strings(list)
+		out[room] = list
+	}
+	return out
+}
+
+// TimelineString renders a per-week event count as a compact activity
+// strip ('.' = idle, digit-ish glyphs for intensity), used by the report
+// rendering of Figure 5.
+func TimelineString(timeline []int) string {
+	var sb strings.Builder
+	sb.Grow(len(timeline))
+	for _, n := range timeline {
+		switch {
+		case n == 0:
+			sb.WriteByte('.')
+		case n < 3:
+			sb.WriteByte('+')
+		case n < 10:
+			sb.WriteByte('*')
+		default:
+			sb.WriteByte('#')
+		}
+	}
+	return sb.String()
+}

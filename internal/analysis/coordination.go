@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/epm"
+	"repro/internal/simtime"
+)
+
+// Burst is one contiguous activity window of an M-cluster at one
+// deployment location.
+type Burst struct {
+	Location int
+	Start    time.Time
+	End      time.Time
+	Events   int
+}
+
+// String renders the burst in the paper's §4.3 listing style
+// ("15/7 - 16/7: observed hitting network location A").
+func (b Burst) String() string {
+	from, to := simtime.ShortDate(b.Start), simtime.ShortDate(b.End)
+	when := from
+	if to != from {
+		when = from + " - " + to
+	}
+	return fmt.Sprintf("%s: observed hitting network location %s (%d events)",
+		when, locationName(b.Location), b.Events)
+}
+
+// locationName renders a location index as the paper's A/B/C labels,
+// falling back to numbers beyond Z.
+func locationName(loc int) string {
+	if loc >= 0 && loc < 26 {
+		return string(rune('A' + loc))
+	}
+	return fmt.Sprintf("#%d", loc)
+}
+
+// CoordinationReport reconstructs the temporal evolution of one M-cluster
+// across deployment locations — the evidence trail the paper uses to
+// infer Command & Control coordination.
+type CoordinationReport struct {
+	MCluster int
+	// Bursts lists the per-location activity windows in time order.
+	Bursts []Burst
+	// Locations is the number of distinct locations hit.
+	Locations int
+	// Coordinated reports the §4.3 signature: multiple bursts alternating
+	// across locations with idle gaps between them.
+	Coordinated bool
+}
+
+// Listing renders the full burst sequence, one line per burst.
+func (cr *CoordinationReport) Listing() string {
+	lines := make([]string, 0, len(cr.Bursts))
+	for _, b := range cr.Bursts {
+		lines = append(lines, "  "+b.String())
+	}
+	return strings.Join(lines, "\n")
+}
+
+// maxBurstGap is the idle time that separates two bursts at one location.
+const maxBurstGap = 4 * 24 * time.Hour
+
+// Coordination reconstructs the per-location burst sequence of one
+// M-cluster.
+func Coordination(ds *dataset.Dataset, mClu *epm.Clustering, mIdx int) (*CoordinationReport, error) {
+	if ds == nil || mClu == nil {
+		return nil, fmt.Errorf("analysis: Coordination needs dataset and clustering")
+	}
+	if mIdx < 0 || mIdx >= len(mClu.Clusters) {
+		return nil, fmt.Errorf("analysis: M-cluster %d out of range", mIdx)
+	}
+
+	type ev struct {
+		at  time.Time
+		loc int
+	}
+	var evs []ev
+	for _, e := range ds.Events() {
+		if mClu.ClusterOf(e.ID) == mIdx {
+			evs = append(evs, ev{at: e.Time, loc: e.SensorLocation})
+		}
+	}
+	sort.Slice(evs, func(a, b int) bool { return evs[a].at.Before(evs[b].at) })
+
+	rep := &CoordinationReport{MCluster: mIdx}
+
+	// Group events into bursts per location (activity at other locations
+	// does not break a location's burst), then merge in start order — the
+	// shape of the paper's §4.3 listing.
+	byLoc := make(map[int][]ev)
+	for _, e := range evs {
+		byLoc[e.loc] = append(byLoc[e.loc], e)
+	}
+	for loc, les := range byLoc {
+		var cur *Burst
+		for _, e := range les {
+			if cur != nil && e.at.Sub(cur.End) <= maxBurstGap {
+				cur.End = e.at
+				cur.Events++
+				continue
+			}
+			if cur != nil {
+				rep.Bursts = append(rep.Bursts, *cur)
+			}
+			cur = &Burst{Location: loc, Start: e.at, End: e.at, Events: 1}
+		}
+		if cur != nil {
+			rep.Bursts = append(rep.Bursts, *cur)
+		}
+	}
+	sort.Slice(rep.Bursts, func(a, b int) bool {
+		if !rep.Bursts[a].Start.Equal(rep.Bursts[b].Start) {
+			return rep.Bursts[a].Start.Before(rep.Bursts[b].Start)
+		}
+		return rep.Bursts[a].Location < rep.Bursts[b].Location
+	})
+	rep.Locations = len(byLoc)
+
+	// Coordination signature: several bursts over at least two locations,
+	// with idle gaps between a location's bursts (the revisit pattern of
+	// the paper: "hitting network location A ... B ... B ... A") and at
+	// least one multi-event burst (hosts acting together).
+	dense := 0
+	for _, b := range rep.Bursts {
+		if b.Events >= 2 {
+			dense++
+		}
+	}
+	if len(rep.Bursts) >= 3 && rep.Locations >= 2 && rep.Locations <= 6 &&
+		dense >= 1 && len(rep.Bursts) > rep.Locations {
+		rep.Coordinated = true
+	}
+	return rep, nil
+}
+
+// MostCoordinated scans the M-clusters with between minEvents and
+// maxEvents attacks and returns the report with the strongest
+// coordination signature (most bursts among coordinated clusters), or nil
+// when none qualifies.
+func MostCoordinated(ds *dataset.Dataset, mClu *epm.Clustering, minEvents, maxEvents int) (*CoordinationReport, error) {
+	if ds == nil || mClu == nil {
+		return nil, fmt.Errorf("analysis: MostCoordinated needs dataset and clustering")
+	}
+	var best *CoordinationReport
+	for _, c := range mClu.Clusters {
+		if c.Size() < minEvents || (maxEvents > 0 && c.Size() > maxEvents) {
+			continue
+		}
+		rep, err := Coordination(ds, mClu, c.ID)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Coordinated {
+			continue
+		}
+		if best == nil || len(rep.Bursts) > len(best.Bursts) {
+			best = rep
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestCoordinationBurstGrouping(t *testing.T) {
+	s := buildScenario(t, 13)
+	// Pick any M-cluster with events and check structural invariants.
+	for _, c := range s.mClu.Clusters[:3] {
+		rep, err := Coordination(s.ds, s.mClu, c.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i, b := range rep.Bursts {
+			total += b.Events
+			if b.End.Before(b.Start) {
+				t.Errorf("M%d burst %d: end before start", c.ID, i)
+			}
+			if i > 0 && b.Start.Before(rep.Bursts[i-1].Start) {
+				t.Errorf("M%d: bursts out of order", c.ID)
+			}
+		}
+		if total != c.Size() {
+			t.Errorf("M%d: burst events sum to %d, cluster size %d", c.ID, total, c.Size())
+		}
+	}
+}
+
+func TestCoordinationDetectsBotPattern(t *testing.T) {
+	s := buildScenario(t, 13)
+	rep, err := MostCoordinated(s.ds, s.mClu, 15, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Skip("no coordinated cluster in this seed")
+	}
+	if !rep.Coordinated {
+		t.Fatal("MostCoordinated returned an uncoordinated report")
+	}
+	if rep.Locations < 2 || len(rep.Bursts) < 3 {
+		t.Errorf("weak signature: %d locations, %d bursts", rep.Locations, len(rep.Bursts))
+	}
+	listing := rep.Listing()
+	if !strings.Contains(listing, "observed hitting network location") {
+		t.Errorf("listing style wrong:\n%s", listing)
+	}
+	// The listing must mention at least two distinct location labels.
+	labels := map[string]bool{}
+	for _, line := range strings.Split(listing, "\n") {
+		if i := strings.Index(line, "network location "); i >= 0 {
+			rest := line[i+len("network location "):]
+			if sp := strings.IndexByte(rest, ' '); sp > 0 {
+				labels[rest[:sp]] = true
+			}
+		}
+	}
+	if len(labels) < 2 {
+		t.Errorf("listing names %d locations, want >= 2:\n%s", len(labels), listing)
+	}
+}
+
+func TestCoordinationErrors(t *testing.T) {
+	s := buildScenario(t, 13)
+	if _, err := Coordination(nil, nil, 0); err == nil {
+		t.Error("nil inputs must error")
+	}
+	if _, err := Coordination(s.ds, s.mClu, -1); err == nil {
+		t.Error("negative index must error")
+	}
+	if _, err := Coordination(s.ds, s.mClu, 1<<20); err == nil {
+		t.Error("out-of-range index must error")
+	}
+	if _, err := MostCoordinated(nil, nil, 1, 0); err == nil {
+		t.Error("nil inputs must error")
+	}
+}
+
+func TestBurstString(t *testing.T) {
+	at := time.Date(2008, time.July, 15, 10, 0, 0, 0, time.UTC)
+	b := Burst{Location: 0, Start: at, End: at.Add(24 * time.Hour), Events: 3}
+	got := b.String()
+	if !strings.Contains(got, "15/7 - 16/7") || !strings.Contains(got, "location A") {
+		t.Errorf("String = %q", got)
+	}
+	single := Burst{Location: 1, Start: at, End: at, Events: 1}
+	if !strings.HasPrefix(single.String(), "15/7: ") {
+		t.Errorf("single-day burst = %q", single.String())
+	}
+	far := Burst{Location: 30, Start: simtime.StudyStart, End: simtime.StudyStart}
+	if !strings.Contains(far.String(), "#30") {
+		t.Errorf("high location index = %q", far.String())
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestEstimatePopulationsBasics(t *testing.T) {
+	s := buildScenario(t, 12)
+	ests, err := EstimatePopulations(s.ds, s.mClu, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) == 0 {
+		t.Fatal("no estimates for clusters with >= 20 events")
+	}
+	for _, e := range ests {
+		if e.Events < 20 {
+			t.Errorf("cluster M%d below minEvents: %d", e.MCluster, e.Events)
+		}
+		if e.Observed < e.FirstHalf || e.Observed < e.SecondHalf {
+			t.Errorf("M%d: observed %d below half counts %d/%d", e.MCluster, e.Observed, e.FirstHalf, e.SecondHalf)
+		}
+		if e.Recaptured > e.FirstHalf || e.Recaptured > e.SecondHalf {
+			t.Errorf("M%d: recaptured %d exceeds half counts", e.MCluster, e.Recaptured)
+		}
+		if e.Usable() {
+			// The estimate can never fall below what was directly observed
+			// minus rounding slack.
+			if e.Estimate < float64(e.Observed)-1.5 {
+				t.Errorf("M%d: estimate %.1f below observed %d", e.MCluster, e.Estimate, e.Observed)
+			}
+		}
+	}
+	// Sorted by event count.
+	for i := 1; i < len(ests); i++ {
+		if ests[i].Events > ests[i-1].Events {
+			t.Error("estimates not sorted by event count")
+		}
+	}
+}
+
+func TestEstimateRecoversTruePopulationScale(t *testing.T) {
+	// For worm clusters the ground-truth population is known: the
+	// estimator must land within a small factor for clusters with enough
+	// recaptures.
+	s := buildScenario(t, 12)
+	ests, err := EstimatePopulations(s.ds, s.mClu, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Map M-cluster -> ground-truth population via a member sample.
+	truthPop := map[int]int{}
+	for _, smp := range s.ds.Samples() {
+		v := s.landscape.Variant(smp.TruthVariant)
+		if v == nil {
+			continue
+		}
+		m, ok := s.cm.SampleM[smp.MD5]
+		if !ok {
+			continue
+		}
+		if _, seen := truthPop[m]; !seen {
+			truthPop[m] = len(v.Population.Hosts)
+		}
+	}
+
+	checked := 0
+	for _, e := range ests {
+		truth, ok := truthPop[e.MCluster]
+		if !ok || !e.Usable() || e.Recaptured < 5 {
+			continue
+		}
+		checked++
+		ratio := e.Estimate / float64(truth)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("M%d: estimate %.0f vs true population %d (ratio %.2f)",
+				e.MCluster, e.Estimate, truth, ratio)
+		}
+		// The estimate must beat the naive observed count as a population
+		// proxy when coverage is partial.
+		if e.Observed < truth && e.Estimate < float64(e.Observed) {
+			t.Errorf("M%d: estimate below observed under partial coverage", e.MCluster)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no cluster with enough recaptures in this seed")
+	}
+}
+
+func TestEstimatePopulationsErrors(t *testing.T) {
+	if _, err := EstimatePopulations(nil, nil, 5); err == nil {
+		t.Error("nil inputs must error")
+	}
+}

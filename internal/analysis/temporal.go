@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/epm"
+	"repro/internal/simtime"
+)
+
+// TemporalReport describes how the cluster population evolves over the
+// study period: when clusters first appear, how long they live, and how
+// much of each period's activity comes from clusters never seen before.
+// The paper motivates exactly this view ("the evolution and the economy
+// of the different threats"); the reproduction quantifies it per EPM
+// dimension.
+type TemporalReport struct {
+	// Dimension labels the clustering analyzed.
+	Dimension string
+	// PeriodWeeks is the bucketing granularity.
+	PeriodWeeks int
+	// Periods has one entry per time bucket.
+	Periods []PeriodStats
+	// Lifetimes maps cluster ID to its active span in periods.
+	Lifetimes map[int]ClusterLifetime
+}
+
+// PeriodStats summarizes one time bucket.
+type PeriodStats struct {
+	// Period is the bucket index.
+	Period int
+	// Events is the number of attacks in the bucket.
+	Events int
+	// ActiveClusters is the number of distinct clusters observed.
+	ActiveClusters int
+	// NewClusters is how many of those were never seen in earlier buckets.
+	NewClusters int
+}
+
+// ClusterLifetime is the activity span of one cluster.
+type ClusterLifetime struct {
+	FirstPeriod int
+	LastPeriod  int
+	// ActivePeriods counts buckets with at least one event.
+	ActivePeriods int
+}
+
+// Span returns the inclusive period span.
+func (l ClusterLifetime) Span() int {
+	return l.LastPeriod - l.FirstPeriod + 1
+}
+
+// Temporal computes the cluster-evolution report for one EPM clustering.
+// periodWeeks <= 0 selects 4-week (≈monthly) buckets.
+func Temporal(ds *dataset.Dataset, c *epm.Clustering, periodWeeks int) (*TemporalReport, error) {
+	if ds == nil || c == nil {
+		return nil, fmt.Errorf("analysis: Temporal needs dataset and clustering")
+	}
+	if periodWeeks <= 0 {
+		periodWeeks = 4
+	}
+	nPeriods := (simtime.WeekCount() + periodWeeks - 1) / periodWeeks
+	rep := &TemporalReport{
+		Dimension:   c.Schema.Dimension,
+		PeriodWeeks: periodWeeks,
+		Periods:     make([]PeriodStats, nPeriods),
+		Lifetimes:   make(map[int]ClusterLifetime),
+	}
+	for i := range rep.Periods {
+		rep.Periods[i].Period = i
+	}
+
+	activeIn := make([]map[int]bool, nPeriods)
+	for i := range activeIn {
+		activeIn[i] = make(map[int]bool)
+	}
+	for _, e := range ds.Events() {
+		cl := c.ClusterOf(e.ID)
+		if cl < 0 {
+			continue
+		}
+		w := simtime.WeekIndex(e.Time)
+		if w < 0 {
+			continue
+		}
+		p := w / periodWeeks
+		if p >= nPeriods {
+			continue
+		}
+		rep.Periods[p].Events++
+		activeIn[p][cl] = true
+	}
+
+	seen := make(map[int]bool)
+	for p := range rep.Periods {
+		rep.Periods[p].ActiveClusters = len(activeIn[p])
+		for cl := range activeIn[p] {
+			if !seen[cl] {
+				seen[cl] = true
+				rep.Periods[p].NewClusters++
+			}
+			lt, ok := rep.Lifetimes[cl]
+			if !ok {
+				lt = ClusterLifetime{FirstPeriod: p, LastPeriod: p}
+			}
+			if p < lt.FirstPeriod {
+				lt.FirstPeriod = p
+			}
+			if p > lt.LastPeriod {
+				lt.LastPeriod = p
+			}
+			lt.ActivePeriods++
+			rep.Lifetimes[cl] = lt
+		}
+	}
+	return rep, nil
+}
+
+// ChurnRate returns the fraction of active clusters per period that are
+// new, averaged over all periods after the first — the paper's "newly
+// generated samples per day" concern expressed at cluster granularity.
+func (r *TemporalReport) ChurnRate() float64 {
+	var sum float64
+	n := 0
+	for _, p := range r.Periods[1:] {
+		if p.ActiveClusters == 0 {
+			continue
+		}
+		sum += float64(p.NewClusters) / float64(p.ActiveClusters)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// LongLived returns the cluster IDs active in at least minPeriods buckets,
+// sorted by span descending then ID.
+func (r *TemporalReport) LongLived(minPeriods int) []int {
+	var out []int
+	for cl, lt := range r.Lifetimes {
+		if lt.ActivePeriods >= minPeriods {
+			out = append(out, cl)
+		}
+	}
+	sortByLifetime(out, r.Lifetimes)
+	return out
+}
+
+func sortByLifetime(ids []int, lifetimes map[int]ClusterLifetime) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := lifetimes[ids[j-1]], lifetimes[ids[j]]
+			if b.Span() > a.Span() || (b.Span() == a.Span() && ids[j] < ids[j-1]) {
+				ids[j-1], ids[j] = ids[j], ids[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

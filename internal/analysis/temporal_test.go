@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestTemporalBasics(t *testing.T) {
+	s := buildScenario(t, 9)
+	rep, err := Temporal(s.ds, s.mClu, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dimension != "mu" {
+		t.Errorf("dimension = %q", rep.Dimension)
+	}
+	wantPeriods := (simtime.WeekCount() + 3) / 4
+	if len(rep.Periods) != wantPeriods {
+		t.Fatalf("periods = %d, want %d", len(rep.Periods), wantPeriods)
+	}
+	totalEvents := 0
+	for _, p := range rep.Periods {
+		totalEvents += p.Events
+		if p.NewClusters > p.ActiveClusters {
+			t.Errorf("period %d: new (%d) > active (%d)", p.Period, p.NewClusters, p.ActiveClusters)
+		}
+	}
+	// Every event with a sample is in some M-cluster and some period.
+	want := 0
+	for _, e := range s.ds.Events() {
+		if e.HasSample() {
+			want++
+		}
+	}
+	if totalEvents != want {
+		t.Errorf("period events sum to %d, want %d", totalEvents, want)
+	}
+	// First period: every active cluster is new by definition.
+	for _, p := range rep.Periods {
+		if p.ActiveClusters > 0 {
+			if p.NewClusters != p.ActiveClusters {
+				t.Errorf("first active period %d: new %d != active %d", p.Period, p.NewClusters, p.ActiveClusters)
+			}
+			break
+		}
+	}
+	// Sum of NewClusters over all periods equals total observed clusters.
+	newSum := 0
+	for _, p := range rep.Periods {
+		newSum += p.NewClusters
+	}
+	if newSum != len(rep.Lifetimes) {
+		t.Errorf("new clusters sum %d != lifetimes %d", newSum, len(rep.Lifetimes))
+	}
+}
+
+func TestTemporalLifetimes(t *testing.T) {
+	s := buildScenario(t, 9)
+	rep, err := Temporal(s.ds, s.mClu, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cl, lt := range rep.Lifetimes {
+		if lt.FirstPeriod > lt.LastPeriod {
+			t.Errorf("cluster %d: first %d > last %d", cl, lt.FirstPeriod, lt.LastPeriod)
+		}
+		if lt.ActivePeriods < 1 || lt.ActivePeriods > lt.Span() {
+			t.Errorf("cluster %d: active %d outside [1, %d]", cl, lt.ActivePeriods, lt.Span())
+		}
+	}
+	// The worm's big clusters must be long-lived (months of activity).
+	long := rep.LongLived(6)
+	if len(long) == 0 {
+		t.Error("no long-lived clusters; the worm background should persist")
+	}
+	// Sorted by span descending.
+	for i := 1; i < len(long); i++ {
+		if rep.Lifetimes[long[i]].Span() > rep.Lifetimes[long[i-1]].Span() {
+			t.Error("LongLived not sorted by span")
+		}
+	}
+}
+
+func TestTemporalChurn(t *testing.T) {
+	s := buildScenario(t, 9)
+	rep, err := Temporal(s.ds, s.mClu, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := rep.ChurnRate()
+	if churn <= 0 || churn >= 1 {
+		t.Errorf("churn = %v, want inside (0,1): new variants keep appearing but a stable background persists", churn)
+	}
+}
+
+func TestTemporalErrorsAndDefaults(t *testing.T) {
+	s := buildScenario(t, 9)
+	if _, err := Temporal(nil, nil, 4); err == nil {
+		t.Error("nil inputs must error")
+	}
+	rep, err := Temporal(s.ds, s.mClu, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeriodWeeks != 4 {
+		t.Errorf("default period = %d, want 4", rep.PeriodWeeks)
+	}
+}

@@ -1,0 +1,75 @@
+package avsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestLabelDeterministic(t *testing.T) {
+	o := New(0.1, 0.05)
+	a := o.Label("W32.Rahack", "abc123")
+	b := o.Label("W32.Rahack", "abc123")
+	if a != b {
+		t.Errorf("labels differ: %q vs %q", a, b)
+	}
+}
+
+func TestLabelFamilyConsistency(t *testing.T) {
+	o := New(0, 0)
+	for i := 0; i < 50; i++ {
+		got := o.Label("W32.Rahack", fmt.Sprintf("md5-%d", i))
+		if !strings.HasPrefix(got, "W32.Rahack.") {
+			t.Fatalf("label = %q, want W32.Rahack.<letter>", got)
+		}
+	}
+}
+
+func TestLabelVariantSpread(t *testing.T) {
+	o := New(0, 0)
+	suffixes := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		got := o.Label("W32.Rahack", fmt.Sprintf("md5-%d", i))
+		suffixes[got] = true
+	}
+	if len(suffixes) < 3 {
+		t.Errorf("only %d distinct variant labels in 200 samples", len(suffixes))
+	}
+}
+
+func TestLabelNoiseRates(t *testing.T) {
+	o := New(0.2, 0.1)
+	generic, undetected, family := 0, 0, 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		got := o.Label("W32.Rahack", fmt.Sprintf("md5-%d", i))
+		switch {
+		case got == "":
+			undetected++
+		case strings.HasPrefix(got, "W32.Rahack"):
+			family++
+		default:
+			generic++
+		}
+	}
+	if f := float64(undetected) / n; f < 0.07 || f > 0.13 {
+		t.Errorf("undetected rate = %.3f, want ~0.10", f)
+	}
+	if f := float64(generic) / n; f < 0.15 || f > 0.25 {
+		t.Errorf("generic rate = %.3f, want ~0.20", f)
+	}
+	if family == 0 {
+		t.Error("no family labels at all")
+	}
+}
+
+func TestLabelNoFamilyName(t *testing.T) {
+	o := New(0, 0)
+	got := o.Label("", "md5-x")
+	if got == "" {
+		t.Error("unknown family must still produce a generic label")
+	}
+	if strings.Contains(got, ".") && strings.HasPrefix(got, "W32.Rahack") {
+		t.Errorf("label = %q", got)
+	}
+}

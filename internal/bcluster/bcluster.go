@@ -1,0 +1,326 @@
+// Package bcluster implements scalable behavior-based malware clustering
+// after Bayer et al. (NDSS'09), the system behind the Anubis B-clusters
+// the paper correlates against.
+//
+// Samples are represented by behavioral profiles (feature sets). Instead
+// of computing all O(n²) pairwise distances, profiles are summarized by
+// MinHash signatures; locality-sensitive hashing over signature bands
+// proposes candidate pairs, whose exact Jaccard similarity is then
+// verified; single-linkage clustering (transitive closure over verified
+// links, i.e. union-find) produces the final clusters.
+//
+// The package also exposes an exact O(n²) baseline used by the ablation
+// benchmarks to reproduce the scalability claim.
+package bcluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/behavior"
+)
+
+// Config are the clustering parameters.
+type Config struct {
+	// NumHashes is the MinHash signature length; it must equal Bands*Rows.
+	NumHashes int
+	// Bands is the number of LSH bands.
+	Bands int
+	// Threshold is the minimum exact Jaccard similarity for two samples to
+	// be linked.
+	Threshold float64
+	// Seed decorrelates the hash family.
+	Seed uint64
+	// Workers bounds the goroutines computing MinHash signatures; 0
+	// selects GOMAXPROCS. The partition is independent of the worker
+	// count.
+	Workers int
+}
+
+// DefaultConfig mirrors the regime of the original system: a 0.7
+// similarity threshold with a signature of 96 hashes in 32 bands of 3.
+func DefaultConfig() Config {
+	return Config{NumHashes: 96, Bands: 32, Threshold: 0.7, Seed: 0x5eed}
+}
+
+// Validate checks parameter consistency.
+func (c Config) Validate() error {
+	if c.NumHashes <= 0 || c.Bands <= 0 {
+		return fmt.Errorf("bcluster: NumHashes (%d) and Bands (%d) must be positive", c.NumHashes, c.Bands)
+	}
+	if c.NumHashes%c.Bands != 0 {
+		return fmt.Errorf("bcluster: NumHashes (%d) must be a multiple of Bands (%d)", c.NumHashes, c.Bands)
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("bcluster: Threshold %v outside (0,1]", c.Threshold)
+	}
+	return nil
+}
+
+// Input is one sample to cluster.
+type Input struct {
+	// ID identifies the sample (e.g. its MD5).
+	ID string
+	// Profile is the sample's behavioral profile.
+	Profile *behavior.Profile
+}
+
+// Cluster is one behavioral cluster.
+type Cluster struct {
+	// ID is a dense cluster index, assigned largest-cluster-first.
+	ID int
+	// Members lists the sample IDs, sorted.
+	Members []string
+}
+
+// Size returns the number of members.
+func (c Cluster) Size() int { return len(c.Members) }
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	Clusters []Cluster
+	// Stats describe the work performed, for the scalability comparison.
+	Stats Stats
+	byID  map[string]int
+}
+
+// Stats counts the comparisons a run performed.
+type Stats struct {
+	// Samples is the input size.
+	Samples int
+	// CandidatePairs is the number of LSH-proposed pairs (equals all pairs
+	// for the exact baseline).
+	CandidatePairs int
+	// Links is the number of pairs whose exact similarity passed the
+	// threshold.
+	Links int
+}
+
+// ClusterOf returns the cluster index of a sample ID, or -1.
+func (r *Result) ClusterOf(id string) int {
+	if i, ok := r.byID[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Singletons returns the clusters with exactly one member.
+func (r *Result) Singletons() []Cluster {
+	var out []Cluster
+	for _, c := range r.Clusters {
+		if c.Size() == 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Run clusters the inputs with MinHash+LSH candidate generation.
+func Run(inputs []Input, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ids := make(map[string]bool, len(inputs))
+	for _, in := range inputs {
+		if in.ID == "" {
+			return nil, fmt.Errorf("bcluster: input with empty ID")
+		}
+		if ids[in.ID] {
+			return nil, fmt.Errorf("bcluster: duplicate input ID %q", in.ID)
+		}
+		if in.Profile == nil {
+			return nil, fmt.Errorf("bcluster: input %q has nil profile", in.ID)
+		}
+		ids[in.ID] = true
+	}
+
+	sigs := make([][]uint64, len(inputs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) && len(inputs) > 0 {
+		workers = len(inputs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sigs[i] = signature(inputs[i].Profile, cfg)
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	rows := cfg.NumHashes / cfg.Bands
+	uf := newUnionFind(len(inputs))
+	seenPair := make(map[[2]int]bool)
+	stats := Stats{Samples: len(inputs)}
+
+	for band := 0; band < cfg.Bands; band++ {
+		buckets := make(map[uint64][]int)
+		for i, sig := range sigs {
+			key := bandKey(sig[band*rows:(band+1)*rows], uint64(band))
+			buckets[key] = append(buckets[key], i)
+		}
+		for _, members := range buckets {
+			if len(members) < 2 {
+				continue
+			}
+			for a := 0; a < len(members); a++ {
+				for b := a + 1; b < len(members); b++ {
+					i, j := members[a], members[b]
+					if uf.find(i) == uf.find(j) {
+						continue
+					}
+					pair := [2]int{i, j}
+					if seenPair[pair] {
+						continue
+					}
+					seenPair[pair] = true
+					stats.CandidatePairs++
+					if inputs[i].Profile.Jaccard(inputs[j].Profile) >= cfg.Threshold {
+						stats.Links++
+						uf.union(i, j)
+					}
+				}
+			}
+		}
+	}
+	return assemble(inputs, uf, stats), nil
+}
+
+// RunExact clusters the inputs with the naive all-pairs comparison. It is
+// the baseline for the LSH-vs-exact ablation; both must produce identical
+// clusters whenever LSH recall is sufficient.
+func RunExact(inputs []Input, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	uf := newUnionFind(len(inputs))
+	stats := Stats{Samples: len(inputs)}
+	for i := 0; i < len(inputs); i++ {
+		for j := i + 1; j < len(inputs); j++ {
+			stats.CandidatePairs++
+			if inputs[i].Profile.Jaccard(inputs[j].Profile) >= cfg.Threshold {
+				stats.Links++
+				uf.union(i, j)
+			}
+		}
+	}
+	return assemble(inputs, uf, stats), nil
+}
+
+// assemble converts union-find components into sorted clusters.
+func assemble(inputs []Input, uf *unionFind, stats Stats) *Result {
+	groups := make(map[int][]string)
+	for i, in := range inputs {
+		root := uf.find(i)
+		groups[root] = append(groups[root], in.ID)
+	}
+	clusters := make([]Cluster, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		clusters = append(clusters, Cluster{Members: members})
+	}
+	sort.Slice(clusters, func(a, b int) bool {
+		if len(clusters[a].Members) != len(clusters[b].Members) {
+			return len(clusters[a].Members) > len(clusters[b].Members)
+		}
+		return clusters[a].Members[0] < clusters[b].Members[0]
+	})
+	res := &Result{Clusters: clusters, Stats: stats, byID: make(map[string]int, len(inputs))}
+	for i := range res.Clusters {
+		res.Clusters[i].ID = i
+		for _, m := range res.Clusters[i].Members {
+			res.byID[m] = i
+		}
+	}
+	return res
+}
+
+// signature computes the MinHash signature of a profile.
+func signature(p *behavior.Profile, cfg Config) []uint64 {
+	sig := make([]uint64, cfg.NumHashes)
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, f := range p.Features() {
+		base := hashString(f) ^ cfg.Seed
+		for i := range sig {
+			h := mix(base + uint64(i)*0x9e3779b97f4a7c15)
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+func bandKey(rows []uint64, band uint64) uint64 {
+	h := band*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, r := range rows {
+		h = mix(h ^ r)
+	}
+	return h
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

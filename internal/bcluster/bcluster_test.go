@@ -1,0 +1,295 @@
+package bcluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/behavior"
+	"repro/internal/simrng"
+)
+
+func mkProfile(fs ...string) *behavior.Profile {
+	p := behavior.NewProfile()
+	for _, f := range fs {
+		p.Add(f)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"default", DefaultConfig(), false},
+		{"zero hashes", Config{Bands: 2, Threshold: 0.5}, true},
+		{"zero bands", Config{NumHashes: 8, Threshold: 0.5}, true},
+		{"not multiple", Config{NumHashes: 10, Bands: 4, Threshold: 0.5}, true},
+		{"zero threshold", Config{NumHashes: 8, Bands: 4}, true},
+		{"threshold above one", Config{NumHashes: 8, Bands: 4, Threshold: 1.5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Run([]Input{{ID: "", Profile: mkProfile("x")}}, cfg); err == nil {
+		t.Error("empty ID must error")
+	}
+	if _, err := Run([]Input{{ID: "a", Profile: nil}}, cfg); err == nil {
+		t.Error("nil profile must error")
+	}
+	if _, err := Run([]Input{
+		{ID: "a", Profile: mkProfile("x")},
+		{ID: "a", Profile: mkProfile("y")},
+	}, cfg); err == nil {
+		t.Error("duplicate ID must error")
+	}
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestRunGroupsIdenticalProfiles(t *testing.T) {
+	shared := []string{"f1", "f2", "f3", "f4", "f5"}
+	var inputs []Input
+	for i := 0; i < 10; i++ {
+		inputs = append(inputs, Input{ID: fmt.Sprintf("s%02d", i), Profile: mkProfile(shared...)})
+	}
+	inputs = append(inputs, Input{ID: "outlier", Profile: mkProfile("z1", "z2", "z3")})
+
+	res, err := Run(inputs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2: %+v", len(res.Clusters), res.Clusters)
+	}
+	if res.Clusters[0].Size() != 10 {
+		t.Errorf("big cluster size = %d", res.Clusters[0].Size())
+	}
+	if res.ClusterOf("outlier") == res.ClusterOf("s00") {
+		t.Error("outlier joined the big cluster")
+	}
+	if got := len(res.Singletons()); got != 1 {
+		t.Errorf("singletons = %d, want 1", got)
+	}
+}
+
+func TestRunRespectsThreshold(t *testing.T) {
+	// a-b similarity = 3/5 = 0.6; threshold 0.7 must separate, 0.5 must join.
+	a := mkProfile("1", "2", "3", "4")
+	b := mkProfile("1", "2", "3", "5")
+	inputs := []Input{{ID: "a", Profile: a}, {ID: "b", Profile: b}}
+
+	cfg := DefaultConfig()
+	cfg.Threshold = 0.7
+	res, err := Run(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Errorf("threshold 0.7: clusters = %d, want 2", len(res.Clusters))
+	}
+
+	cfg.Threshold = 0.5
+	res, err = Run(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Errorf("threshold 0.5: clusters = %d, want 1", len(res.Clusters))
+	}
+}
+
+func TestSingleLinkageChains(t *testing.T) {
+	// a~b and b~c but a!~c: single linkage must still merge all three.
+	a := mkProfile("1", "2", "3", "4", "5", "6", "7", "8")
+	b := mkProfile("1", "2", "3", "4", "5", "6", "9", "10")   // sim(a,b)=6/10=0.6
+	c := mkProfile("3", "4", "5", "6", "9", "10", "11", "12") // sim(b,c)=6/10=0.6, sim(a,c)=4/12=0.33
+	inputs := []Input{{ID: "a", Profile: a}, {ID: "b", Profile: b}, {ID: "c", Profile: c}}
+	cfg := DefaultConfig()
+	cfg.Threshold = 0.55
+	res, err := Run(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("single linkage must chain: got %d clusters", len(res.Clusters))
+	}
+}
+
+func TestLSHMatchesExact(t *testing.T) {
+	// Random family-structured data: LSH and exact clustering must agree.
+	r := simrng.New(42).Stream("families")
+	var inputs []Input
+	id := 0
+	for fam := 0; fam < 8; fam++ {
+		core := make([]string, 20)
+		for i := range core {
+			core[i] = fmt.Sprintf("fam%d-core%d", fam, i)
+		}
+		for member := 0; member < 12; member++ {
+			p := behavior.NewProfile()
+			for _, f := range core {
+				p.Add(f)
+			}
+			// 0-2 member-specific features: keeps similarity >= 20/24 = 0.83.
+			for k := 0; k < r.Intn(3); k++ {
+				p.Add(fmt.Sprintf("m%d-extra%d", id, k))
+			}
+			inputs = append(inputs, Input{ID: fmt.Sprintf("s%03d", id), Profile: p})
+			id++
+		}
+	}
+	cfg := DefaultConfig()
+	lsh, err := Run(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := RunExact(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsh.Clusters) != len(exact.Clusters) {
+		t.Fatalf("LSH clusters = %d, exact = %d", len(lsh.Clusters), len(exact.Clusters))
+	}
+	for _, in := range inputs {
+		// Cluster IDs are assigned identically (size-sorted), so the
+		// partition must match member-by-member.
+		if lsh.ClusterOf(in.ID) != exact.ClusterOf(in.ID) {
+			t.Fatalf("sample %s: lsh cluster %d != exact %d", in.ID, lsh.ClusterOf(in.ID), exact.ClusterOf(in.ID))
+		}
+	}
+	if lsh.Stats.CandidatePairs >= exact.Stats.CandidatePairs {
+		t.Errorf("LSH did not prune: %d candidates vs %d all-pairs",
+			lsh.Stats.CandidatePairs, exact.Stats.CandidatePairs)
+	}
+}
+
+func TestEmptyProfilesClusterTogether(t *testing.T) {
+	inputs := []Input{
+		{ID: "e1", Profile: mkProfile()},
+		{ID: "e2", Profile: mkProfile()},
+	}
+	res, err := Run(inputs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Errorf("two empty profiles must share a cluster (Jaccard=1), got %d", len(res.Clusters))
+	}
+}
+
+func TestClusterOfUnknown(t *testing.T) {
+	res, err := Run([]Input{{ID: "a", Profile: mkProfile("x")}}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ClusterOf("nope"); got != -1 {
+		t.Errorf("ClusterOf(unknown) = %d, want -1", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := simrng.New(7).Stream("det")
+	var inputs []Input
+	for i := 0; i < 50; i++ {
+		p := behavior.NewProfile()
+		for k := 0; k < 5+r.Intn(5); k++ {
+			p.Add(fmt.Sprintf("f%d", r.Intn(30)))
+		}
+		inputs = append(inputs, Input{ID: fmt.Sprintf("s%02d", i), Profile: p})
+	}
+	a, err := Run(inputs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(inputs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("non-deterministic cluster count")
+	}
+	for _, in := range inputs {
+		if a.ClusterOf(in.ID) != b.ClusterOf(in.ID) {
+			t.Fatalf("non-deterministic assignment for %s", in.ID)
+		}
+	}
+}
+
+func TestSignatureSimilarityConcentration(t *testing.T) {
+	// MinHash property: signature agreement approximates Jaccard.
+	cfg := DefaultConfig()
+	a := behavior.NewProfile()
+	b := behavior.NewProfile()
+	for i := 0; i < 60; i++ {
+		a.Add(fmt.Sprintf("shared%d", i))
+		b.Add(fmt.Sprintf("shared%d", i))
+	}
+	for i := 0; i < 20; i++ {
+		a.Add(fmt.Sprintf("onlya%d", i))
+		b.Add(fmt.Sprintf("onlyb%d", i))
+	}
+	// True Jaccard = 60/100 = 0.6.
+	sa, sb := signature(a, cfg), signature(b, cfg)
+	agree := 0
+	for i := range sa {
+		if sa[i] == sb[i] {
+			agree++
+		}
+	}
+	got := float64(agree) / float64(len(sa))
+	if got < 0.45 || got > 0.75 {
+		t.Errorf("signature agreement %.2f too far from true Jaccard 0.6", got)
+	}
+}
+
+func benchInputs(n int) []Input {
+	r := simrng.New(1).Stream("bench")
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		fam := i % 20
+		p := behavior.NewProfile()
+		for k := 0; k < 15; k++ {
+			p.Add(fmt.Sprintf("fam%d-f%d", fam, k))
+		}
+		for k := 0; k < r.Intn(3); k++ {
+			p.Add(fmt.Sprintf("s%d-noise%d", i, k))
+		}
+		inputs = append(inputs, Input{ID: fmt.Sprintf("s%05d", i), Profile: p})
+	}
+	return inputs
+}
+
+func BenchmarkRunLSH1000(b *testing.B) {
+	inputs := benchInputs(1000)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(inputs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunExact1000(b *testing.B) {
+	inputs := benchInputs(1000)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExact(inputs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package bcluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/bcluster"
+	"repro/internal/behavior"
+)
+
+// Example clusters three samples by behavioral profile: two share their
+// features and link; the third is behaviorally unrelated.
+func Example() {
+	profile := func(features ...string) *behavior.Profile {
+		p := behavior.NewProfile()
+		for _, f := range features {
+			p.Add(f)
+		}
+		return p
+	}
+	inputs := []bcluster.Input{
+		{ID: "worm-a", Profile: profile("file-create|urdvxc.exe", "scan|tcp/445", "infect-html|local")},
+		{ID: "worm-b", Profile: profile("file-create|urdvxc.exe", "scan|tcp/445", "infect-html|local")},
+		{ID: "bot-x", Profile: profile("registry-set|Run\\bot", "irc|67.43.232.36:6667|#kok6")},
+	}
+	res, err := bcluster.Run(inputs, bcluster.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range res.Clusters {
+		fmt.Printf("B%d: %v\n", c.ID, c.Members)
+	}
+	fmt.Printf("singletons: %d\n", len(res.Singletons()))
+
+	// Output:
+	// B0: [worm-a worm-b]
+	// B1: [bot-x]
+	// singletons: 1
+}

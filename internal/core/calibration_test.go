@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPaperCalibration asserts the headline reproduction bands on the
+// full default scenario. It is the regression net for EXPERIMENTS.md:
+// any change that drifts the calibration out of the paper's neighborhood
+// fails here. Skipped under -short (the run takes tens of seconds).
+func TestPaperCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default scenario is expensive; run without -short")
+	}
+	res, err := Run(DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, samples, executable, e, p, m, b := res.Counts()
+
+	between := func(name string, got, lo, hi int) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %d outside calibration band [%d, %d] (paper-anchored)", name, got, lo, hi)
+		}
+	}
+	// Paper values: 6353 samples, 5165 executable, 39 E, 27 P, 260 M,
+	// 972 B, 860 size-1. Bands allow drift without losing the shape.
+	between("samples", samples, 5400, 7200)
+	between("executable", executable, 4400, 6000)
+	between("E-clusters", e, 25, 48)
+	between("P-clusters", p, 18, 35)
+	between("M-clusters", m, 215, 330)
+	between("B-clusters", b, 760, 1150)
+
+	ratio := float64(executable) / float64(samples)
+	if ratio < 0.72 || ratio > 0.9 {
+		t.Errorf("executable ratio = %.3f outside [0.72, 0.90] (paper: 0.813)", ratio)
+	}
+	singles := len(res.B.Singletons())
+	if frac := float64(singles) / float64(b); frac < 0.8 || frac > 0.98 {
+		t.Errorf("singleton fraction = %.3f outside [0.80, 0.98] (paper: 0.885)", frac)
+	}
+	// Structural orderings of §4.1.
+	if !(e < m && p < m && m < b) {
+		t.Errorf("cluster ordering broken: E=%d P=%d M=%d B=%d", e, p, m, b)
+	}
+}

@@ -1,0 +1,129 @@
+// Package core wires the full reproduction pipeline: landscape generation
+// → deployment simulation → information enrichment → EPM and behavioral
+// clustering → cross-perspective joins.
+//
+// It is the public façade the binaries, examples, and benchmarks build
+// on: one Scenario in, one Results out, deterministic under the scenario
+// seed.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/bcluster"
+	"repro/internal/dataset"
+	"repro/internal/enrich"
+	"repro/internal/epm"
+	"repro/internal/malgen"
+	"repro/internal/sgnet"
+	"repro/internal/simrng"
+)
+
+// Scenario is a complete experiment configuration.
+type Scenario struct {
+	// Seed drives every stochastic decision; equal scenarios reproduce
+	// byte-identical results.
+	Seed uint64
+	// Landscape scales the ground-truth malware ecosystem.
+	Landscape malgen.Config
+	// Deployment configures the honeypot deployment.
+	Deployment sgnet.Config
+	// Enrichment configures sandboxing, AV labeling, and B-clustering.
+	Enrichment enrich.Config
+	// Thresholds configure EPM invariant discovery.
+	Thresholds epm.Thresholds
+}
+
+// DefaultScenario is the paper-scale configuration used by the
+// experiments harness.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Seed:       2010,
+		Landscape:  malgen.DefaultConfig(),
+		Deployment: sgnet.DefaultConfig(),
+		Enrichment: enrich.DefaultConfig(),
+		Thresholds: epm.DefaultThresholds(),
+	}
+}
+
+// SmallScenario is a fast configuration for tests and the quickstart
+// example.
+func SmallScenario() Scenario {
+	s := DefaultScenario()
+	s.Landscape = malgen.SmallConfig()
+	return s
+}
+
+// Results bundles every artifact of a pipeline run.
+type Results struct {
+	Scenario   Scenario
+	Landscape  *malgen.Landscape
+	Simulation *sgnet.Result
+	Dataset    *dataset.Dataset
+	Pipeline   *enrich.Pipeline
+	Enrichment *enrich.Result
+
+	// E, P, M are the EPM clusterings of the three dimensions.
+	E, P, M *epm.Clustering
+	// B is the behavioral clustering.
+	B *bcluster.Result
+	// CrossMap joins the static and behavioral perspectives.
+	CrossMap *analysis.CrossMap
+}
+
+// Run executes the full pipeline.
+func Run(s Scenario) (*Results, error) {
+	rng := simrng.New(s.Seed)
+
+	landscape, err := malgen.Generate(s.Landscape, rng.Child("landscape"))
+	if err != nil {
+		return nil, fmt.Errorf("core: generating landscape: %w", err)
+	}
+	sim, err := sgnet.Simulate(landscape, s.Deployment, rng.Child("sgnet"))
+	if err != nil {
+		return nil, fmt.Errorf("core: simulating deployment: %w", err)
+	}
+	pipe, err := enrich.New(landscape, s.Enrichment, rng.Child("enrich"))
+	if err != nil {
+		return nil, fmt.Errorf("core: building enrichment: %w", err)
+	}
+	enriched, err := pipe.Enrich(sim.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("core: enriching dataset: %w", err)
+	}
+
+	res := &Results{
+		Scenario:   s,
+		Landscape:  landscape,
+		Simulation: sim,
+		Dataset:    sim.Dataset,
+		Pipeline:   pipe,
+		Enrichment: enriched,
+		B:          enriched.BClusters,
+	}
+	if res.E, err = epm.Run(dataset.EpsilonSchema, sim.Dataset.EpsilonInstances(), s.Thresholds); err != nil {
+		return nil, fmt.Errorf("core: epsilon clustering: %w", err)
+	}
+	if res.P, err = epm.Run(dataset.PiSchema, sim.Dataset.PiInstances(), s.Thresholds); err != nil {
+		return nil, fmt.Errorf("core: pi clustering: %w", err)
+	}
+	if res.M, err = epm.Run(dataset.MuSchema, sim.Dataset.MuInstances(), s.Thresholds); err != nil {
+		return nil, fmt.Errorf("core: mu clustering: %w", err)
+	}
+	if res.CrossMap, err = analysis.BuildCrossMap(sim.Dataset, res.M, res.B); err != nil {
+		return nil, fmt.Errorf("core: cross map: %w", err)
+	}
+	return res, nil
+}
+
+// Counts extracts the §4.1 headline numbers.
+func (r *Results) Counts() (events, samples, executable, e, p, m, b int) {
+	return r.Dataset.EventCount(),
+		r.Dataset.SampleCount(),
+		r.Dataset.ExecutableSampleCount(),
+		len(r.E.Clusters),
+		len(r.P.Clusters),
+		len(r.M.Clusters),
+		len(r.B.Clusters)
+}

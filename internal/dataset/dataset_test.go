@@ -1,0 +1,258 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pe"
+	"repro/internal/simtime"
+)
+
+func sampleFeatures(md5 string, size int) pe.Features {
+	return pe.Features{
+		MD5:             md5,
+		Size:            size,
+		Magic:           pe.MagicPEGUI,
+		IsPE:            true,
+		MachineType:     332,
+		NumSections:     3,
+		NumImportedDLLs: 1,
+		OSVersion:       64,
+		LinkerVersion:   92,
+		SectionNames:    ".text,.data,.idata",
+		ImportedDLLs:    "KERNEL32.dll",
+		Kernel32Symbols: "GetProcAddress,LoadLibraryA",
+	}
+}
+
+func testEvent(id, md5 string, at time.Time) Event {
+	return Event{
+		ID:              id,
+		Time:            at,
+		Attacker:        "198.51.100.7",
+		Sensor:          "192.0.2.1",
+		FSMPath:         "445:s3",
+		DestPort:        445,
+		Protocol:        "csend",
+		PayloadPort:     9988,
+		Interaction:     "PUSH",
+		Sample:          sampleFeatures(md5, 59904),
+		DownloadOutcome: "ok",
+		TruthFamily:     "allaple",
+		TruthVariant:    "allaple-v1",
+	}
+}
+
+func TestAddEventAndSampleTable(t *testing.T) {
+	d := New()
+	t0 := simtime.WeekStart(3)
+	if err := d.AddEvent(testEvent("e1", "md5-a", t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEvent(testEvent("e2", "md5-a", t0.Add(time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEvent(testEvent("e3", "md5-b", t0.Add(-time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+
+	if d.EventCount() != 3 {
+		t.Errorf("EventCount = %d", d.EventCount())
+	}
+	if d.SampleCount() != 2 {
+		t.Errorf("SampleCount = %d", d.SampleCount())
+	}
+	s := d.Sample("md5-a")
+	if s == nil || s.Events != 2 {
+		t.Fatalf("sample md5-a = %+v", s)
+	}
+	if !s.FirstSeen.Equal(t0) {
+		t.Errorf("FirstSeen = %v", s.FirstSeen)
+	}
+	if !s.Executable {
+		t.Error("PE sample must be executable")
+	}
+	if got := len(d.EventsOfSample("md5-a")); got != 2 {
+		t.Errorf("EventsOfSample = %d", got)
+	}
+	if d.Sample("missing") != nil {
+		t.Error("missing sample must be nil")
+	}
+}
+
+func TestAddEventValidation(t *testing.T) {
+	d := New()
+	if err := d.AddEvent(Event{}); err == nil {
+		t.Error("empty ID must error")
+	}
+	if err := d.AddEvent(testEvent("e1", "m", simtime.StudyStart)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEvent(testEvent("e1", "m", simtime.StudyStart)); err == nil {
+		t.Error("duplicate ID must error")
+	}
+}
+
+func TestFirstSeenUsesEarliestEvent(t *testing.T) {
+	d := New()
+	late := simtime.WeekStart(10)
+	early := simtime.WeekStart(2)
+	if err := d.AddEvent(testEvent("e1", "m", late)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEvent(testEvent("e2", "m", early)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sample("m").FirstSeen; !got.Equal(early) {
+		t.Errorf("FirstSeen = %v, want %v", got, early)
+	}
+}
+
+func TestFailedDownloadStoresNoSample(t *testing.T) {
+	d := New()
+	e := testEvent("e1", "", simtime.StudyStart)
+	e.Sample = pe.Features{}
+	e.DownloadOutcome = "failed"
+	if err := d.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	if d.SampleCount() != 0 {
+		t.Error("failed download must not create a sample")
+	}
+	if len(d.MuInstances()) != 0 {
+		t.Error("failed download must not produce a mu instance")
+	}
+	if len(d.EpsilonInstances()) != 1 {
+		t.Error("epsilon instance must still exist")
+	}
+}
+
+func TestTruncatedSampleNotExecutable(t *testing.T) {
+	d := New()
+	e := testEvent("e1", "md5-t", simtime.StudyStart)
+	e.Sample = pe.Features{MD5: "md5-t", Size: 4096, Magic: pe.MagicMZ}
+	e.DownloadOutcome = "truncated"
+	if err := d.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Sample("md5-t")
+	if s == nil {
+		t.Fatal("truncated sample must be recorded")
+	}
+	if s.Executable {
+		t.Error("truncated sample must not be executable")
+	}
+	if d.ExecutableSampleCount() != 0 {
+		t.Error("ExecutableSampleCount must be 0")
+	}
+}
+
+func TestInstanceProjections(t *testing.T) {
+	d := New()
+	if err := d.AddEvent(testEvent("e1", "md5-a", simtime.StudyStart)); err != nil {
+		t.Fatal(err)
+	}
+	eps := d.EpsilonInstances()
+	if len(eps) != 1 || len(eps[0].Values) != len(EpsilonSchema.Features) {
+		t.Fatalf("epsilon projection = %+v", eps)
+	}
+	if eps[0].Values[0] != "445:s3" || eps[0].Values[1] != "445" {
+		t.Errorf("epsilon values = %v", eps[0].Values)
+	}
+	pis := d.PiInstances()
+	if len(pis) != 1 || len(pis[0].Values) != len(PiSchema.Features) {
+		t.Fatalf("pi projection = %+v", pis)
+	}
+	if pis[0].Values[0] != "csend" || pis[0].Values[1] != "(none)" ||
+		pis[0].Values[2] != "9988" || pis[0].Values[3] != "PUSH" {
+		t.Errorf("pi values = %v", pis[0].Values)
+	}
+	mus := d.MuInstances()
+	if len(mus) != 1 || len(mus[0].Values) != len(MuSchema.Features) {
+		t.Fatalf("mu projection = %+v", mus)
+	}
+	if mus[0].Values[0] != "md5-a" || mus[0].Values[1] != "59904" || mus[0].Values[7] != "92" {
+		t.Errorf("mu values = %v", mus[0].Values)
+	}
+}
+
+func TestSchemasMatchTable1Arity(t *testing.T) {
+	// Table 1 lists 2 epsilon features, 4 pi features, 11 mu features.
+	if got := len(EpsilonSchema.Features); got != 2 {
+		t.Errorf("epsilon features = %d, want 2", got)
+	}
+	if got := len(PiSchema.Features); got != 4 {
+		t.Errorf("pi features = %d, want 4", got)
+	}
+	if got := len(MuSchema.Features); got != 11 {
+		t.Errorf("mu features = %d, want 11", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := New()
+	for i := 0; i < 5; i++ {
+		md5 := fmt.Sprintf("md5-%d", i%2)
+		if err := d.AddEvent(testEvent(fmt.Sprintf("e%d", i), md5, simtime.WeekStart(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Attach enrichment state.
+	d.Sample("md5-0").AVLabel = "W32.Rahack.W"
+	d.Sample("md5-0").Profile = []string{"file-create|x", "scan|tcp/445"}
+
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EventCount() != d.EventCount() || got.SampleCount() != d.SampleCount() {
+		t.Fatalf("round trip lost records: %d/%d events, %d/%d samples",
+			got.EventCount(), d.EventCount(), got.SampleCount(), d.SampleCount())
+	}
+	s := got.Sample("md5-0")
+	if s.AVLabel != "W32.Rahack.W" {
+		t.Errorf("AVLabel = %q", s.AVLabel)
+	}
+	if len(s.Profile) != 2 {
+		t.Errorf("Profile = %v", s.Profile)
+	}
+	if got.Sample("md5-1").Events != d.Sample("md5-1").Events {
+		t.Error("event counts diverged")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json\n",
+		"unknown kind": `{"kind":"zebra"}` + "\n",
+		"empty event":  `{"kind":"event"}` + "\n",
+		"empty sample": `{"kind":"sample"}` + "\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+				t.Error("ReadJSONL accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestSamplesSorted(t *testing.T) {
+	d := New()
+	for _, md5 := range []string{"zzz", "aaa", "mmm"} {
+		if err := d.AddEvent(testEvent("e-"+md5, md5, simtime.StudyStart)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Samples()
+	if len(got) != 3 || got[0].MD5 != "aaa" || got[2].MD5 != "zzz" {
+		t.Errorf("Samples order: %v, %v, %v", got[0].MD5, got[1].MD5, got[2].MD5)
+	}
+}

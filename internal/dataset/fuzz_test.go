@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// FuzzReadJSONL feeds arbitrary text to the dataset reader: it must never
+// panic, and any successfully parsed dataset must re-serialize and parse
+// back to the same shape.
+func FuzzReadJSONL(f *testing.F) {
+	d := New()
+	if err := d.AddEvent(testEvent("e1", "md5-a", simtime.WeekStart(2))); err != nil {
+		f.Fatal(err)
+	}
+	d.Sample("md5-a").AVLabel = "W32.Rahack.A"
+	d.Sample("md5-a").Profile = []string{"scan|tcp/445"}
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{\"kind\":\"event\"}\n")
+	f.Add("garbage\n")
+	f.Add("{\"kind\":\"sample\",\"sample\":{\"md5\":\"x\"}}\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := ds.WriteJSONL(&out); err != nil {
+			t.Fatalf("parsed dataset failed to serialize: %v", err)
+		}
+		back, err := ReadJSONL(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.EventCount() != ds.EventCount() || back.SampleCount() != ds.SampleCount() {
+			t.Fatalf("round trip changed shape: %d/%d events, %d/%d samples",
+				back.EventCount(), ds.EventCount(), back.SampleCount(), ds.SampleCount())
+		}
+	})
+}

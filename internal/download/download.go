@@ -1,0 +1,236 @@
+// Package download emulates the malware-transfer protocols of the
+// Nepenthes download modules: after shellcode analysis recovers the
+// download instructions, the honeypot performs (or accepts) the actual
+// transfer. Each protocol is emulated at message level — control dialogs,
+// data blocks, status codes — and failures are injected inside the
+// protocol (a refused login, a missing file, a connection cut mid-body),
+// which is where the paper's truncated and corrupted samples come from.
+package download
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/shellcode"
+)
+
+// Direction tags a transcript message.
+type Direction int
+
+// Message directions relative to the victim (the honeypot).
+const (
+	// Sent is victim-to-peer traffic.
+	Sent Direction = iota
+	// Received is peer-to-victim traffic.
+	Received
+)
+
+// Message is one protocol exchange of the transfer.
+type Message struct {
+	Dir  Direction
+	Data []byte
+	// Note is a human-readable tag ("RETR", "DATA block 3", "200 OK").
+	Note string
+}
+
+// Transcript records one emulated transfer.
+type Transcript struct {
+	Protocol string
+	Messages []Message
+	Outcome  shellcode.DownloadOutcome
+}
+
+func (t *Transcript) send(note string, data []byte) {
+	t.Messages = append(t.Messages, Message{Dir: Sent, Data: data, Note: note})
+}
+
+func (t *Transcript) recv(note string, data []byte) {
+	t.Messages = append(t.Messages, Message{Dir: Received, Data: data, Note: note})
+}
+
+// Block sizes per protocol.
+const (
+	ftpBlock  = 1024
+	httpBlock = 1460
+	tftpBlock = 512
+	rawBlock  = 2048
+)
+
+// Run performs one emulated transfer: it returns the bytes the victim
+// stored, the outcome, and the protocol transcript. The failure model is
+// applied inside the protocol: a failed transfer aborts before any
+// payload flows, a truncated one cuts the data stream midway.
+func Run(action shellcode.Action, payload []byte, fm shellcode.FailureModel, r *rand.Rand) ([]byte, *Transcript, error) {
+	tr := &Transcript{Protocol: action.Protocol}
+
+	// Outcome draw mirrors the abstract failure model so both emulation
+	// layers agree on rates.
+	x := r.Float64()
+	fail := x < fm.FailProb
+	truncate := !fail && x < fm.FailProb+fm.TruncateProb && len(payload) > 4
+	cut := len(payload)
+	if truncate {
+		cut = len(payload)/4 + r.Intn(len(payload)/2)
+	}
+
+	var stored []byte
+	switch action.Protocol {
+	case "ftp":
+		stored = ftpTransfer(tr, action, payload, fail, cut, r)
+	case "http":
+		stored = httpTransfer(tr, action, payload, fail, cut)
+	case "tftp":
+		stored = tftpTransfer(tr, action, payload, fail, cut)
+	case "csend", "creceive", "blink":
+		stored = rawTransfer(tr, action, payload, fail, cut)
+	default:
+		return nil, nil, fmt.Errorf("download: unknown protocol %q", action.Protocol)
+	}
+
+	switch {
+	case fail:
+		tr.Outcome = shellcode.DownloadFailed
+		stored = nil
+	case truncate:
+		tr.Outcome = shellcode.DownloadTruncated
+	default:
+		tr.Outcome = shellcode.DownloadOK
+	}
+	return stored, tr, nil
+}
+
+// chunked streams payload in blocks, stopping at cut, and reports how
+// many bytes actually flowed.
+func chunked(tr *Transcript, note string, payload []byte, block, cut int) []byte {
+	var out []byte
+	for off := 0; off < len(payload); off += block {
+		end := off + block
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if off >= cut {
+			tr.recv("connection reset", nil)
+			return out
+		}
+		if end > cut {
+			end = cut
+		}
+		tr.recv(fmt.Sprintf("%s block %d (%d bytes)", note, off/block+1, end-off), payload[off:end])
+		out = append(out, payload[off:end]...)
+		if end == cut && cut < len(payload) {
+			tr.recv("connection reset", nil)
+			return out
+		}
+	}
+	return out
+}
+
+// ftpTransfer emulates an RFC-959 control dialog plus a passive-mode data
+// connection.
+func ftpTransfer(tr *Transcript, action shellcode.Action, payload []byte, fail bool, cut int, r *rand.Rand) []byte {
+	tr.recv("220 banner", []byte("220 ftp ready\r\n"))
+	tr.send("USER", []byte("USER anonymous\r\n"))
+	tr.recv("331", []byte("331 password required\r\n"))
+	tr.send("PASS", []byte("PASS guest@\r\n"))
+	if fail {
+		tr.recv("530", []byte("530 login incorrect\r\n"))
+		return nil
+	}
+	tr.recv("230", []byte("230 user logged in\r\n"))
+	tr.send("TYPE", []byte("TYPE I\r\n"))
+	tr.recv("200", []byte("200 type set to I\r\n"))
+	tr.send("PASV", []byte("PASV\r\n"))
+	p1 := 128 + r.Intn(64)
+	p2 := r.Intn(256)
+	tr.recv("227", []byte(fmt.Sprintf("227 entering passive mode (%s,%d,%d)\r\n",
+		commaIP(action.Source.String()), p1, p2)))
+	tr.send("RETR", []byte("RETR "+action.Filename+"\r\n"))
+	tr.recv("150", []byte("150 opening data connection\r\n"))
+	out := chunked(tr, "DATA", payload, ftpBlock, cut)
+	if len(out) == len(payload) {
+		tr.recv("226", []byte("226 transfer complete\r\n"))
+	}
+	return out
+}
+
+func commaIP(dotted string) string {
+	out := make([]byte, 0, len(dotted))
+	for i := 0; i < len(dotted); i++ {
+		if dotted[i] == '.' {
+			out = append(out, ',')
+		} else {
+			out = append(out, dotted[i])
+		}
+	}
+	return string(out)
+}
+
+// httpTransfer emulates an HTTP/1.0 GET.
+func httpTransfer(tr *Transcript, action shellcode.Action, payload []byte, fail bool, cut int) []byte {
+	tr.send("GET", []byte(fmt.Sprintf("GET /%s HTTP/1.0\r\nHost: %s\r\n\r\n",
+		action.Filename, action.Source)))
+	if fail {
+		tr.recv("404", []byte("HTTP/1.0 404 Not Found\r\n\r\n"))
+		return nil
+	}
+	tr.recv("200", []byte(fmt.Sprintf(
+		"HTTP/1.0 200 OK\r\nContent-Type: application/octet-stream\r\nContent-Length: %d\r\n\r\n",
+		len(payload))))
+	return chunked(tr, "BODY", payload, httpBlock, cut)
+}
+
+// tftpTransfer emulates RFC-1350 read requests: 512-byte DATA blocks,
+// each acknowledged; a short final block terminates the transfer.
+func tftpTransfer(tr *Transcript, action shellcode.Action, payload []byte, fail bool, cut int) []byte {
+	tr.send("RRQ", []byte(action.Filename+"\x00octet\x00"))
+	if fail {
+		tr.recv("ERROR", []byte("\x00\x05\x00\x01file not found\x00"))
+		return nil
+	}
+	var out []byte
+	block := 1
+	for off := 0; ; off += tftpBlock {
+		end := off + tftpBlock
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if off > cut || (off >= cut && cut < len(payload)) {
+			tr.recv("timeout", nil)
+			return out
+		}
+		capped := end
+		if capped > cut {
+			capped = cut
+		}
+		tr.recv(fmt.Sprintf("DATA %d (%d bytes)", block, capped-off), payload[off:capped])
+		out = append(out, payload[off:capped]...)
+		tr.send(fmt.Sprintf("ACK %d", block), []byte{0, 4, byte(block >> 8), byte(block)})
+		if capped < end || end-off < tftpBlock || end == len(payload) {
+			if capped < end {
+				tr.recv("timeout", nil)
+			}
+			return out
+		}
+		block++
+	}
+}
+
+// rawTransfer emulates the Nepenthes-specific transfer protocols
+// (csend/creceive/blink): a length prefix followed by the raw bytes.
+func rawTransfer(tr *Transcript, action shellcode.Action, payload []byte, fail bool, cut int) []byte {
+	header := []byte{
+		byte(len(payload) >> 24), byte(len(payload) >> 16),
+		byte(len(payload) >> 8), byte(len(payload)),
+	}
+	if action.Interaction == shellcode.Push {
+		tr.recv("push header", header)
+	} else {
+		tr.send("fetch request", []byte(action.Protocol))
+		tr.recv("length header", header)
+	}
+	if fail {
+		tr.recv("connection refused", nil)
+		return nil
+	}
+	return chunked(tr, "RAW", payload, rawBlock, cut)
+}

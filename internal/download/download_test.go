@@ -1,0 +1,216 @@
+package download
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/shellcode"
+	"repro/internal/simrng"
+)
+
+func action(proto string, interaction shellcode.Interaction) shellcode.Action {
+	return shellcode.Action{
+		Protocol:    proto,
+		Interaction: interaction,
+		Port:        21,
+		Filename:    "ftpupd.exe",
+		Source:      netmodel.MustParseIP("198.51.100.7"),
+	}
+}
+
+func payload(n int) []byte {
+	p := make([]byte, n)
+	simrng.New(1).Stream("payload").Read(p)
+	return p
+}
+
+func TestAllProtocolsDeliverFullPayload(t *testing.T) {
+	r := simrng.New(2).Stream("dl")
+	pl := payload(5000)
+	for _, proto := range []string{"ftp", "http", "tftp", "csend", "creceive", "blink"} {
+		t.Run(proto, func(t *testing.T) {
+			interaction := shellcode.Pull
+			if proto == "csend" {
+				interaction = shellcode.Push
+			}
+			stored, tr, err := Run(action(proto, interaction), pl, shellcode.FailureModel{}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Outcome != shellcode.DownloadOK {
+				t.Fatalf("outcome = %v", tr.Outcome)
+			}
+			if !bytes.Equal(stored, pl) {
+				t.Fatalf("stored %d bytes, want %d intact", len(stored), len(pl))
+			}
+			if len(tr.Messages) < 2 {
+				t.Fatalf("transcript too short: %d messages", len(tr.Messages))
+			}
+		})
+	}
+}
+
+func TestUnknownProtocol(t *testing.T) {
+	r := simrng.New(2).Stream("dl")
+	if _, _, err := Run(action("gopher", shellcode.Pull), payload(100), shellcode.FailureModel{}, r); err == nil {
+		t.Error("unknown protocol must error")
+	}
+}
+
+func TestFailuresAbortBeforePayload(t *testing.T) {
+	r := simrng.New(3).Stream("dl")
+	pl := payload(4000)
+	for _, proto := range []string{"ftp", "http", "tftp", "creceive"} {
+		t.Run(proto, func(t *testing.T) {
+			stored, tr, err := Run(action(proto, shellcode.Pull), pl, shellcode.FailureModel{FailProb: 1}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Outcome != shellcode.DownloadFailed || stored != nil {
+				t.Fatalf("outcome = %v, stored = %d bytes", tr.Outcome, len(stored))
+			}
+			// No payload bytes may appear anywhere in the transcript.
+			for _, m := range tr.Messages {
+				if len(m.Data) > 64 {
+					t.Errorf("failed transfer leaked a %d-byte message (%s)", len(m.Data), m.Note)
+				}
+			}
+		})
+	}
+}
+
+func TestTruncationCutsMidStream(t *testing.T) {
+	r := simrng.New(4).Stream("dl")
+	pl := payload(20000)
+	for _, proto := range []string{"ftp", "http", "tftp", "csend"} {
+		t.Run(proto, func(t *testing.T) {
+			for i := 0; i < 10; i++ {
+				stored, tr, err := Run(action(proto, shellcode.Pull), pl, shellcode.FailureModel{TruncateProb: 1}, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.Outcome != shellcode.DownloadTruncated {
+					t.Fatalf("outcome = %v", tr.Outcome)
+				}
+				if len(stored) == 0 || len(stored) >= len(pl) {
+					t.Fatalf("truncated stored %d of %d bytes", len(stored), len(pl))
+				}
+				if !bytes.Equal(stored, pl[:len(stored)]) {
+					t.Fatal("truncated bytes are not a prefix")
+				}
+			}
+		})
+	}
+}
+
+func TestFTPDialogShape(t *testing.T) {
+	r := simrng.New(5).Stream("dl")
+	_, tr, err := Run(action("ftp", shellcode.Pull), payload(3000), shellcode.FailureModel{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var notes []string
+	for _, m := range tr.Messages {
+		notes = append(notes, m.Note)
+	}
+	joined := strings.Join(notes, " ")
+	for _, want := range []string{"220", "USER", "331", "PASS", "230", "TYPE", "PASV", "227", "RETR", "150", "226"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("FTP dialog missing %s: %v", want, notes)
+		}
+	}
+	// The RETR command must carry the requested filename.
+	found := false
+	for _, m := range tr.Messages {
+		if m.Note == "RETR" && strings.Contains(string(m.Data), "ftpupd.exe") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("RETR does not request the shellcode's filename")
+	}
+}
+
+func TestHTTPHeaders(t *testing.T) {
+	r := simrng.New(6).Stream("dl")
+	pl := payload(3000)
+	_, tr, err := Run(action("http", shellcode.Central), pl, shellcode.FailureModel{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr.Messages[0].Data), "GET /ftpupd.exe HTTP/1.0") {
+		t.Errorf("request line wrong: %q", tr.Messages[0].Data)
+	}
+	if !strings.Contains(string(tr.Messages[1].Data), fmt.Sprintf("Content-Length: %d", len(pl))) {
+		t.Errorf("content length missing: %q", tr.Messages[1].Data)
+	}
+}
+
+func TestTFTPBlockNumbers(t *testing.T) {
+	r := simrng.New(7).Stream("dl")
+	pl := payload(1300) // 3 blocks: 512+512+276
+	stored, tr, err := Run(action("tftp", shellcode.Pull), pl, shellcode.FailureModel{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stored, pl) {
+		t.Fatal("payload mismatch")
+	}
+	acks := 0
+	for _, m := range tr.Messages {
+		if strings.HasPrefix(m.Note, "ACK") {
+			acks++
+		}
+	}
+	if acks != 3 {
+		t.Errorf("acks = %d, want 3", acks)
+	}
+}
+
+func TestRawPushDirection(t *testing.T) {
+	r := simrng.New(8).Stream("dl")
+	_, tr, err := Run(action("csend", shellcode.Push), payload(100), shellcode.FailureModel{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A push starts with the peer sending, not the victim requesting.
+	if tr.Messages[0].Dir != Received {
+		t.Errorf("push transfer starts with %v message (%s)", tr.Messages[0].Dir, tr.Messages[0].Note)
+	}
+}
+
+func TestOutcomeRates(t *testing.T) {
+	r := simrng.New(9).Stream("dl")
+	pl := payload(4096)
+	fm := shellcode.FailureModel{TruncateProb: 0.15, FailProb: 0.05}
+	counts := map[shellcode.DownloadOutcome]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		_, tr, err := Run(action("http", shellcode.Pull), pl, fm, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[tr.Outcome]++
+	}
+	if f := float64(counts[shellcode.DownloadFailed]) / n; f < 0.03 || f > 0.08 {
+		t.Errorf("fail rate = %.3f", f)
+	}
+	if tr := float64(counts[shellcode.DownloadTruncated]) / n; tr < 0.11 || tr > 0.19 {
+		t.Errorf("truncate rate = %.3f", tr)
+	}
+}
+
+func BenchmarkRunFTP(b *testing.B) {
+	r := simrng.New(10).Stream("dl")
+	pl := payload(59904)
+	a := action("ftp", shellcode.Pull)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(a, pl, shellcode.FailureModel{}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

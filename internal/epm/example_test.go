@@ -1,0 +1,80 @@
+package epm_test
+
+import (
+	"fmt"
+
+	"repro/internal/epm"
+)
+
+// Example demonstrates the four EPM phases on a tiny polymorphic corpus:
+// the MD5 varies per attack and never becomes an invariant, while size
+// and linker survive, so one pattern groups all attacks of the family.
+func Example() {
+	schema := epm.Schema{
+		Dimension: "mu",
+		Features:  []string{"md5", "size", "linker"},
+	}
+	var instances []epm.Instance
+	for i := 0; i < 12; i++ {
+		instances = append(instances, epm.Instance{
+			ID:       fmt.Sprintf("attack-%02d", i),
+			Attacker: fmt.Sprintf("10.0.0.%d", i%4), // 4 distinct attackers
+			Sensor:   fmt.Sprintf("sensor-%d", i%3), // 3 distinct honeypots
+			Values:   []string{fmt.Sprintf("unique-%d", i), "59904", "92"},
+		})
+	}
+
+	clustering, err := epm.Run(schema, instances, epm.DefaultThresholds())
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range clustering.Clusters {
+		fmt.Printf("cluster %d: %d attacks, pattern %s\n", c.ID, c.Size(), c.Pattern)
+	}
+	fmt.Printf("md5 invariants: %d, size invariants: %d\n",
+		clustering.Stats[0].Invariants, clustering.Stats[1].Invariants)
+
+	// Output:
+	// cluster 0: 12 attacks, pattern (*, 59904, 92)
+	// md5 invariants: 0, size invariants: 1
+}
+
+// ExampleClustering_Classify shows most-specific-pattern classification of
+// a fresh attack instance against discovered patterns.
+func ExampleClustering_Classify() {
+	schema := epm.Schema{Dimension: "mu", Features: []string{"md5", "size"}}
+	var instances []epm.Instance
+	// A stable family: the MD5 repeats and becomes invariant.
+	for i := 0; i < 12; i++ {
+		instances = append(instances, epm.Instance{
+			ID:       fmt.Sprintf("stable-%02d", i),
+			Attacker: fmt.Sprintf("a%d", i%4),
+			Sensor:   fmt.Sprintf("s%d", i%3),
+			Values:   []string{"cafebabe", "1000"},
+		})
+	}
+	// A polymorphic family of the same size.
+	for i := 0; i < 12; i++ {
+		instances = append(instances, epm.Instance{
+			ID:       fmt.Sprintf("poly-%02d", i),
+			Attacker: fmt.Sprintf("a%d", i%4),
+			Sensor:   fmt.Sprintf("s%d", i%3),
+			Values:   []string{fmt.Sprintf("rnd-%d", i), "1000"},
+		})
+	}
+	clustering, err := epm.Run(schema, instances, epm.DefaultThresholds())
+	if err != nil {
+		panic(err)
+	}
+
+	// The known MD5 matches its fully-specific pattern; a never-seen MD5
+	// falls back to the generalized one.
+	p1, _, _ := clustering.Classify([]string{"cafebabe", "1000"})
+	p2, _, _ := clustering.Classify([]string{"deadbeef", "1000"})
+	fmt.Println(p1)
+	fmt.Println(p2)
+
+	// Output:
+	// (cafebabe, 1000)
+	// (*, 1000)
+}

@@ -1,0 +1,82 @@
+package epm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildClustering(t *testing.T) *Clustering {
+	t.Helper()
+	s := testSchema()
+	instances := mkInstances("a", 15, 4, 4, "mdA", "1000", "92")
+	instances = append(instances, mkInstances("b", 15, 4, 4, "mdB", "2000", "80")...)
+	for i := 0; i < 12; i++ {
+		instances = append(instances, Instance{
+			ID:       mkInstances("p", 1, 1, 1, "x", "y", "z")[0].ID + string(rune('0'+i%10)) + string(rune('a'+i)),
+			Attacker: mkInstances("q", 1, 1, 1, "x", "y", "z")[0].Attacker,
+			Sensor:   "s0",
+			Values:   []string{"poly-" + string(rune('a'+i)), "3000", "92"},
+		})
+	}
+	c, err := Run(s, instances, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := buildClustering(t)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Clusters) != len(c.Clusters) {
+		t.Fatalf("clusters = %d, want %d", len(back.Clusters), len(c.Clusters))
+	}
+	// Assignments survive.
+	for _, cl := range c.Clusters {
+		for _, id := range cl.InstanceIDs {
+			if back.ClusterOf(id) != c.ClusterOf(id) {
+				t.Fatalf("assignment of %s differs", id)
+			}
+		}
+	}
+	// Invariants survive.
+	if !back.IsInvariant("md5", "mdA") || back.IsInvariant("md5", "poly-a") {
+		t.Error("invariants lost in round trip")
+	}
+	// Classification works on the restored clustering.
+	_, idx, ok := back.Classify([]string{"mdA", "1000", "92"})
+	if !ok || idx != c.ClusterOf("a-000") {
+		t.Errorf("Classify after restore: idx=%d ok=%v", idx, ok)
+	}
+	// Total invariants identical.
+	if back.TotalInvariants() != c.TotalInvariants() {
+		t.Errorf("invariant totals differ: %d vs %d", back.TotalInvariants(), c.TotalInvariants())
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":            "{nope",
+		"bad schema":         `{"schema":{"Dimension":"","Features":[]},"thresholds":{"MinInstances":1,"MinAttackers":1,"MinSensors":1},"invariants":[],"clusters":[]}`,
+		"bad thresholds":     `{"schema":{"Dimension":"m","Features":["a"]},"thresholds":{"MinInstances":0,"MinAttackers":1,"MinSensors":1},"invariants":[[]],"clusters":[]}`,
+		"invariant mismatch": `{"schema":{"Dimension":"m","Features":["a","b"]},"thresholds":{"MinInstances":1,"MinAttackers":1,"MinSensors":1},"invariants":[[]],"clusters":[]}`,
+		"pattern arity":      `{"schema":{"Dimension":"m","Features":["a"]},"thresholds":{"MinInstances":1,"MinAttackers":1,"MinSensors":1},"invariants":[[]],"clusters":[{"ID":0,"Pattern":{"Values":["x","y"]},"InstanceIDs":["i"]}]}`,
+		"wrong id":           `{"schema":{"Dimension":"m","Features":["a"]},"thresholds":{"MinInstances":1,"MinAttackers":1,"MinSensors":1},"invariants":[[]],"clusters":[{"ID":3,"Pattern":{"Values":["x"]},"InstanceIDs":["i"]}]}`,
+		"dup instance":       `{"schema":{"Dimension":"m","Features":["a"]},"thresholds":{"MinInstances":1,"MinAttackers":1,"MinSensors":1},"invariants":[[]],"clusters":[{"ID":0,"Pattern":{"Values":["x"]},"InstanceIDs":["i"]},{"ID":1,"Pattern":{"Values":["y"]},"InstanceIDs":["i"]}]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+				t.Error("ReadJSON accepted malformed input")
+			}
+		})
+	}
+}

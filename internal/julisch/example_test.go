@@ -1,0 +1,40 @@
+package julisch_test
+
+import (
+	"fmt"
+
+	"repro/internal/julisch"
+)
+
+// Example shows generalization through a port taxonomy: two undersized
+// exact groups merge under their common "privileged" parent instead of
+// collapsing to the root.
+func Example() {
+	attrs := []julisch.Attribute{
+		{Name: "port", Hierarchy: julisch.Hierarchy{
+			"21": "privileged", "80": "privileged", "6667": "unprivileged",
+		}},
+		{Name: "proto"},
+	}
+	var instances []julisch.Instance
+	for i := 0; i < 3; i++ {
+		instances = append(instances, julisch.Instance{
+			ID: fmt.Sprintf("ftp-%d", i), Values: []string{"21", "pull"},
+		})
+		instances = append(instances, julisch.Instance{
+			ID: fmt.Sprintf("http-%d", i), Values: []string{"80", "pull"},
+		})
+	}
+	res, err := julisch.Run(attrs, instances, 5)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range res.Clusters {
+		fmt.Printf("%v covers %d instances\n", c.Tuple, c.Size())
+	}
+	fmt.Printf("generalization rounds: %d\n", res.Generalizations)
+
+	// Output:
+	// [privileged pull] covers 6 instances
+	// generalization rounds: 1
+}

@@ -1,0 +1,934 @@
+// Package malgen generates the ground-truth malware landscape the
+// deployment simulation observes.
+//
+// The paper's dataset cannot be obtained (real attacks, real binaries), so
+// the reproduction synthesizes a landscape configured to exhibit the
+// phenomena the paper reports:
+//
+//   - An Allaple-class worm: one exploit implementation, PUSH-based
+//     propagation on TCP 9988, a per-instance size-preserving polymorphic
+//     engine, and a long lineage of patched/recompiled variants (different
+//     sizes and linker versions) that share one of two behaviour
+//     generations — many M-clusters collapsing onto two B-clusters, with
+//     fragile sandbox executions feeding the size-1 B-cluster artifact
+//     population of Figure 4.
+//
+//   - A per-source polymorphic family (the paper's M-cluster 13): mutation
+//     keyed by the attacker address, the same propagation vector as the
+//     worm, and behaviour that depends on the availability of its
+//     distribution site ("iliketay.cn") and downstream IRC C&C.
+//
+//   - IRC bot families: small, localized populations with bursty
+//     coordinated activity, multiple patched variants per botnet, and C&C
+//     servers concentrated in shared /24s with recurring room names
+//     (Table 2).
+//
+//   - Dropper families fetching from central repositories, and a long
+//     tail of rare families observed a handful of times.
+package malgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/behavior"
+	"repro/internal/exploit"
+	"repro/internal/netmodel"
+	"repro/internal/pe"
+	"repro/internal/polymorph"
+	"repro/internal/sandbox"
+	"repro/internal/shellcode"
+	"repro/internal/simrng"
+	"repro/internal/simtime"
+)
+
+// Class is the ground-truth family class.
+type Class int
+
+// Family classes.
+const (
+	// ClassWorm is a self-propagating worm (widespread population, long
+	// activity, no C&C).
+	ClassWorm Class = iota + 1
+	// ClassBot is an IRC-controlled bot (localized population, bursty
+	// coordinated activity).
+	ClassBot
+	// ClassDropper is a downloader fetching from a central repository.
+	ClassDropper
+	// ClassRare is an infrequent family observed a handful of times.
+	ClassRare
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassWorm:
+		return "worm"
+	case ClassBot:
+		return "bot"
+	case ClassDropper:
+		return "dropper"
+	case ClassRare:
+		return "rare"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Variant is one concrete codebase: the unit that EPM's M dimension should
+// rediscover as a cluster.
+type Variant struct {
+	// Name is the unique ground-truth variant identifier.
+	Name string
+	// FamilyName is the owning family.
+	FamilyName string
+	// Class is the family class.
+	Class Class
+	// Template is the PE codebase image.
+	Template *pe.Image
+	// Engine is the per-instance polymorphic engine.
+	Engine polymorph.Engine
+	// Program is the behaviour executed in the sandbox.
+	Program *behavior.Program
+	// Population is the set of infected hosts shipping this variant.
+	Population netmodel.Population
+	// Activity is the set of time windows the population scans in.
+	Activity []simtime.Interval
+	// WeeklyRate is the expected number of deployment-wide hits per active
+	// week.
+	WeeklyRate float64
+	// TargetLocations restricts the variant's scanning to this many
+	// deployment locations (0 = untargeted: any sensor). Bots scan
+	// specific networks; worms sweep the whole space.
+	TargetLocations int
+}
+
+// Family groups variants sharing a codebase lineage and propagation
+// strategy.
+type Family struct {
+	// Name is the unique ground-truth family identifier.
+	Name string
+	// Class is the family class.
+	Class Class
+	// AVName is the AV vendor's base name for the family.
+	AVName string
+	// Impl is the exploit implementation the family propagates with.
+	Impl *exploit.Implementation
+	// Spec is the shellcode download specification.
+	Spec shellcode.Spec
+	// Variants are the family's codebases.
+	Variants []*Variant
+}
+
+// ChannelTruth records one C&C channel assignment for validating Table 2.
+type ChannelTruth struct {
+	Server netmodel.IP
+	Port   int
+	Room   string
+	// Variants lists the ground-truth variant names commanded through the
+	// channel.
+	Variants []string
+}
+
+// Landscape is the generated ground truth.
+type Landscape struct {
+	Families []*Family
+	// Vulnerabilities are the synthetic vulnerable services.
+	Vulnerabilities []*exploit.Vulnerability
+	// Env is the external-world environment sandbox executions run
+	// against.
+	Env *sandbox.Environment
+	// Channels is the C&C ground truth.
+	Channels []ChannelTruth
+
+	variantsByName map[string]*Variant
+}
+
+// Variant resolves a ground-truth variant by name, or nil.
+func (l *Landscape) Variant(name string) *Variant {
+	return l.variantsByName[name]
+}
+
+// Variants returns every variant in deterministic (family, variant) order.
+func (l *Landscape) Variants() []*Variant {
+	var out []*Variant
+	for _, f := range l.Families {
+		out = append(out, f.Variants...)
+	}
+	return out
+}
+
+// Config scales the landscape.
+type Config struct {
+	// WormVariants is the size of the Allaple-class variant lineage.
+	WormVariants int
+	// WormPopMin/Max bound the per-variant infected population size
+	// (log-uniform).
+	WormPopMin, WormPopMax int
+	// WormHitRate is the expected weekly deployment-wide hits contributed
+	// per infected host.
+	WormHitRate float64
+	// WormFragility is the per-execution probability of a degraded
+	// sandbox run for worm samples.
+	WormFragility float64
+	// PerSourcePopulation is the infected population of the per-source
+	// polymorphic family.
+	PerSourcePopulation int
+	// BotFamilies is the number of IRC bot families.
+	BotFamilies int
+	// BotMaxVariants bounds the patched variants per bot family (at least
+	// 1, uniform in [1, BotMaxVariants]... the generator guarantees at
+	// least 2 for half the families so that Table 2 shows same-channel
+	// multi-cluster rows).
+	BotMaxVariants int
+	// DropperFamilies is the number of central-repository families.
+	DropperFamilies int
+	// RareFamilies is the size of the long tail.
+	RareFamilies int
+}
+
+// DefaultConfig targets the scale of the paper's 17-month dataset.
+func DefaultConfig() Config {
+	return Config{
+		WormVariants:        175,
+		WormPopMin:          12,
+		WormPopMax:          60,
+		WormHitRate:         0.016,
+		WormFragility:       0.21,
+		PerSourcePopulation: 45,
+		BotFamilies:         18,
+		BotMaxVariants:      4,
+		DropperFamilies:     30,
+		RareFamilies:        45,
+	}
+}
+
+// SmallConfig is a reduced landscape for tests and examples.
+func SmallConfig() Config {
+	return Config{
+		WormVariants:        12,
+		WormPopMin:          5,
+		WormPopMax:          60,
+		WormHitRate:         0.02,
+		WormFragility:       0.17,
+		PerSourcePopulation: 12,
+		BotFamilies:         3,
+		BotMaxVariants:      3,
+		DropperFamilies:     3,
+		RareFamilies:        5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.WormVariants < 1 {
+		return fmt.Errorf("malgen: WormVariants must be >= 1, got %d", c.WormVariants)
+	}
+	if c.WormPopMin < 3 || c.WormPopMax < c.WormPopMin {
+		return fmt.Errorf("malgen: invalid worm population bounds [%d, %d]", c.WormPopMin, c.WormPopMax)
+	}
+	if c.WormHitRate <= 0 {
+		return fmt.Errorf("malgen: WormHitRate must be positive")
+	}
+	if c.WormFragility < 0 || c.WormFragility > 1 {
+		return fmt.Errorf("malgen: WormFragility outside [0,1]")
+	}
+	if c.PerSourcePopulation < 3 {
+		return fmt.Errorf("malgen: PerSourcePopulation must be >= 3")
+	}
+	if c.BotFamilies < 0 || c.DropperFamilies < 0 || c.RareFamilies < 0 {
+		return fmt.Errorf("malgen: family counts must be non-negative")
+	}
+	if c.BotFamilies > 0 && c.BotMaxVariants < 1 {
+		return fmt.Errorf("malgen: BotMaxVariants must be >= 1")
+	}
+	return nil
+}
+
+// Well-known constants of the default scenario, mirroring the paper's
+// examples.
+const (
+	// WormFamilyName is the ground-truth name of the Allaple-class worm.
+	WormFamilyName = "allaple"
+	// PerSourceFamilyName is the ground-truth name of the M-cluster-13
+	// analogue.
+	PerSourceFamilyName = "iliketay"
+	// PerSourceDomain is the malware distribution domain of the
+	// per-source family.
+	PerSourceDomain = "iliketay.cn"
+	// WormPushPort is the PUSH port of the worm's shellcode (the paper's
+	// P-pattern 45 pushes on TCP 9988).
+	WormPushPort = 9988
+)
+
+// IRC servers of the default scenario: the literal infrastructure of
+// Table 2 — several servers concentrated in shared /24s.
+var ircServers = []string{
+	"67.43.226.242",
+	"67.43.232.34",
+	"67.43.232.35",
+	"67.43.232.36",
+	"67.43.232.36",
+	"72.10.172.211",
+	"72.10.172.218",
+	"83.68.16.6",
+}
+
+// IRC room names of the default scenario: recurring names and name
+// patterns, as the paper observes.
+var ircRooms = []string{"#las6", "#kok8", "#kok6", "#kham", "#kok2", "#ns", "#siwa", "#las2"}
+
+// Fixed filename pool for PULL-based downloads (the paper discovers 22
+// filename invariants).
+var filenamePool = []string{
+	"ftpupd.exe", "winlogin.exe", "svchost32.exe", "msnet.exe", "lsass32.exe",
+	"crss.exe", "winupd.exe", "msupd32.exe", "sysconf.exe", "netmgr.exe",
+	"wmiprvse.exe", "spoolsrv.exe", "mssign.exe", "dllhost32.exe", "winsys.exe",
+	"ntkrnl.exe", "smss32.exe", "taskmgr32.exe", "udpsvc.exe", "regsvc32.exe",
+	"iexplore1.exe", "msgsvc.exe",
+}
+
+// AV base names assigned round-robin to bot/dropper/rare families.
+var avNamePool = []string{
+	"W32.Spybot", "W32.Randex", "Backdoor.Sdbot", "W32.Gaobot", "W32.Korgo",
+	"Backdoor.IRC.Bot", "W32.Licum", "Trojan.Dropper", "Downloader.Agent",
+	"W32.Pilleuz", "W32.Protoride", "Backdoor.Ranky",
+}
+
+// Generate builds the landscape. All randomness derives from rng, so equal
+// (config, rng seed) pairs produce identical landscapes.
+func Generate(cfg Config, rng *simrng.Source) (*Landscape, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		cfg: cfg,
+		rng: rng,
+		l: &Landscape{
+			Env:            sandbox.NewEnvironment(),
+			variantsByName: make(map[string]*Variant),
+		},
+	}
+	if err := g.vulnerabilities(); err != nil {
+		return nil, err
+	}
+	if err := g.wormFamily(); err != nil {
+		return nil, err
+	}
+	if err := g.perSourceFamily(); err != nil {
+		return nil, err
+	}
+	if err := g.botFamilies(); err != nil {
+		return nil, err
+	}
+	if err := g.dropperFamilies(); err != nil {
+		return nil, err
+	}
+	if err := g.rareFamilies(); err != nil {
+		return nil, err
+	}
+	for _, f := range g.l.Families {
+		for _, v := range f.Variants {
+			g.l.variantsByName[v.Name] = v
+		}
+	}
+	return g.l, nil
+}
+
+type generator struct {
+	cfg cfg
+	rng *simrng.Source
+	l   *Landscape
+}
+
+type cfg = Config
+
+// vulnerabilities defines the three exploited services (the paper's ε
+// dimension discovers 3 destination-port invariants).
+func (g *generator) vulnerabilities() error {
+	r := g.rng.Stream("vulns")
+	specs := []struct {
+		name   string
+		port   int
+		stages int
+	}{
+		{"asn1-ms04007", 445, 3},
+		{"netbios-ms03049", 139, 2},
+		{"dcom-ms03026", 135, 3},
+	}
+	for _, s := range specs {
+		v, err := exploit.NewVulnerability(s.name, s.port, s.stages, r.Uint64())
+		if err != nil {
+			return err
+		}
+		g.l.Vulnerabilities = append(g.l.Vulnerabilities, v)
+	}
+	return nil
+}
+
+func (g *generator) vuln(i int) *exploit.Vulnerability {
+	return g.l.Vulnerabilities[i%len(g.l.Vulnerabilities)]
+}
+
+// wormTemplate builds the base Allaple-class codebase.
+func wormTemplate(r *rand.Rand) *pe.Image {
+	text := make([]byte, 24*1024)
+	data := make([]byte, 16*1024)
+	rsrc := make([]byte, 12*1024)
+	r.Read(text)
+	r.Read(data)
+	r.Read(rsrc)
+	return &pe.Image{
+		Machine:     pe.MachineI386,
+		Subsystem:   pe.SubsystemGUI,
+		LinkerMajor: 6, LinkerMinor: 0,
+		OSMajor: 4, OSMinor: 0,
+		Sections: []pe.Section{
+			{Name: ".text", Data: text, Characteristics: pe.SectionCode | pe.SectionExecute | pe.SectionRead},
+			{Name: ".data", Data: data, Characteristics: pe.SectionInitializedData | pe.SectionRead | pe.SectionWrite},
+			{Name: ".rsrc", Data: rsrc, Characteristics: pe.SectionInitializedData | pe.SectionRead},
+		},
+		Imports: []pe.Import{
+			{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA", "CreateFileA", "WriteFile"}},
+			{DLL: "WS2_32.dll", Symbols: []string{"socket", "connect", "send"}},
+		},
+	}
+}
+
+// wormBehavior builds one of the worm's two behaviour generations.
+func wormBehavior(gen int, fragility float64) *behavior.Program {
+	ops := []behavior.Op{
+		{Kind: behavior.OpCreateFile, Path: `C:\WINDOWS\system32\urdvxc.exe`},
+		{Kind: behavior.OpSetRegistry, Path: `HKLM\SYSTEM\CurrentControlSet\Services\urdvxc`},
+		{Kind: behavior.OpInfectHTML, Path: "local-html"},
+		{Kind: behavior.OpScanNetwork, Port: 445},
+	}
+	if gen == 2 {
+		ops = append(ops,
+			behavior.Op{Kind: behavior.OpCreateMutex, Path: "jhdherukfgpwfk"},
+			behavior.Op{Kind: behavior.OpDoS, Host: "www.targeted-site.example"},
+		)
+	}
+	return &behavior.Program{
+		Name:      fmt.Sprintf("%s-gen%d", WormFamilyName, gen),
+		Ops:       ops,
+		Fragility: fragility,
+	}
+}
+
+// wormFamily builds the Allaple-class lineage.
+func (g *generator) wormFamily() error {
+	r := g.rng.Stream("worm")
+	impl, err := exploit.NewImplementation(g.vuln(0), WormFamilyName+"-impl", r.Uint64())
+	if err != nil {
+		return err
+	}
+	fam := &Family{
+		Name:   WormFamilyName,
+		Class:  ClassWorm,
+		AVName: "W32.Rahack",
+		Impl:   impl,
+		Spec: shellcode.Spec{
+			Protocol:    "csend",
+			Interaction: shellcode.Push,
+			Port:        WormPushPort,
+		},
+	}
+
+	gen1 := wormBehavior(1, g.cfg.WormFragility)
+	gen2 := wormBehavior(2, g.cfg.WormFragility)
+
+	// Variant lineage: each new variant derives from a random ancestor by
+	// a patch (size change), a recompilation (linker change), or an API
+	// addition — the code evolution the paper infers from M-cluster
+	// diversity under B-cluster stability.
+	templates := []*pe.Image{wormTemplate(r)}
+	for len(templates) < g.cfg.WormVariants {
+		parent := templates[r.Intn(len(templates))]
+		var child *pe.Image
+		switch x := r.Float64(); {
+		case x < 0.70:
+			child = polymorph.Patch(parent, r)
+		case x < 0.92:
+			child = polymorph.Recompile(parent, r)
+		default:
+			child = polymorph.AddImport("KERNEL32.dll", "CreateMutexA")(parent, r)
+		}
+		templates = append(templates, child)
+	}
+
+	for i, tpl := range templates {
+		prog := gen1
+		if i%2 == 1 {
+			prog = gen2
+		}
+		pop := netmodel.NewPopulation(r, logUniform(r, g.cfg.WormPopMin, g.cfg.WormPopMax), netmodel.Widespread, 0)
+		start := r.Intn(16)
+		end := 52 + r.Intn(simtime.WeekCount()-52)
+		fam.Variants = append(fam.Variants, &Variant{
+			Name:       fmt.Sprintf("%s/v%03d", WormFamilyName, i),
+			FamilyName: WormFamilyName,
+			Class:      ClassWorm,
+			Template:   tpl,
+			Engine:     polymorph.Allaple{Seed: r.Uint64()},
+			Program:    prog,
+			Population: pop,
+			Activity:   []simtime.Interval{weekSpan(start, end)},
+			WeeklyRate: float64(len(pop.Hosts)) * g.cfg.WormHitRate,
+		})
+	}
+	g.l.Families = append(g.l.Families, fam)
+	return nil
+}
+
+// perSourceFamily builds the M-cluster-13 analogue: per-attacker
+// polymorphism, the worm's propagation vector, and behaviour gated on the
+// availability of its distribution site.
+func (g *generator) perSourceFamily() error {
+	r := g.rng.Stream("persource")
+	worm := g.l.Families[0]
+
+	// The exact static pattern of the paper's example: 3 declared sections
+	// (.text, rdata, .data), linker 9.2, OS version 6.4, one imported DLL
+	// with GetProcAddress/LoadLibraryA.
+	text := make([]byte, 40*1024)
+	rdata := make([]byte, 8*1024)
+	data := make([]byte, 9*1024)
+	r.Read(text)
+	r.Read(rdata)
+	r.Read(data)
+	tpl := &pe.Image{
+		Machine:     pe.MachineI386,
+		Subsystem:   pe.SubsystemGUI,
+		LinkerMajor: 9, LinkerMinor: 2,
+		OSMajor: 6, OSMinor: 4,
+		Sections: []pe.Section{
+			{Name: ".text", Data: text, Characteristics: pe.SectionCode | pe.SectionExecute | pe.SectionRead},
+			{Name: "rdata", Data: rdata, Characteristics: pe.SectionInitializedData | pe.SectionRead},
+			{Name: ".data", Data: data, Characteristics: pe.SectionInitializedData | pe.SectionRead | pe.SectionWrite},
+		},
+		Imports: []pe.Import{
+			{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA"}},
+		},
+	}
+
+	// Distribution site lifecycle: component two disappears first, then
+	// the DNS entry itself is removed ("the entry was probably removed
+	// from the DNS database"), and the follow-up IRC server outlives both.
+	siteIP := netmodel.MustParseIP("121.14.98.30")
+	ircIP := netmodel.MustParseIP("121.14.98.31")
+	dnsWindow := weekSpan(0, 56)
+	compOneWindow := weekSpan(0, 56)
+	compTwoWindow := weekSpan(0, 30)
+	ircWindow := weekSpan(0, 62)
+
+	comp1 := &behavior.Program{Name: "iliketay-comp1", Ops: []behavior.Op{
+		{Kind: behavior.OpCreateFile, Path: `C:\WINDOWS\TEMP\~tmp1.exe`},
+		{Kind: behavior.OpSetRegistry, Path: `HKLM\...\Run\tay1`},
+	}}
+	comp2 := &behavior.Program{Name: "iliketay-comp2", Ops: []behavior.Op{
+		{Kind: behavior.OpCreateFile, Path: `C:\WINDOWS\TEMP\~tmp2.exe`},
+	}}
+	ircCommands := &behavior.Program{Name: "iliketay-commands", Ops: []behavior.Op{
+		{Kind: behavior.OpHTTPDownload, Host: "update.iliketay.cn", Path: "/x.bin"},
+		{Kind: behavior.OpScanNetwork, Port: 445},
+	}}
+
+	g.l.Env.AddDNS(PerSourceDomain, siteIP, dnsWindow)
+	g.l.Env.AddDNS("update.iliketay.cn", siteIP, dnsWindow)
+	g.l.Env.AddHTTP(PerSourceDomain, "/one.exe", comp1, compOneWindow)
+	g.l.Env.AddHTTP(PerSourceDomain, "/two.exe", comp2, compTwoWindow)
+	g.l.Env.AddHTTP("update.iliketay.cn", "/x.bin", nil, dnsWindow)
+	g.l.Env.AddIRC(ircIP, 6667, "#tay", ircCommands, ircWindow)
+
+	prog := &behavior.Program{
+		Name: PerSourceFamilyName,
+		Ops: []behavior.Op{
+			{Kind: behavior.OpCreateFile, Path: `C:\WINDOWS\system32\taycore.exe`},
+			{Kind: behavior.OpDNSResolve, Host: PerSourceDomain, OnFailSkip: 3},
+			{Kind: behavior.OpHTTPDownload, Host: PerSourceDomain, Path: "/one.exe"},
+			{Kind: behavior.OpHTTPDownload, Host: PerSourceDomain, Path: "/two.exe"},
+			{Kind: behavior.OpIRCConnect, Host: ircIP.String(), Port: 6667, Channel: "#tay"},
+		},
+	}
+
+	fam := &Family{
+		Name:   PerSourceFamilyName,
+		Class:  ClassWorm,
+		AVName: "W32.Pilleuz",
+		Impl:   worm.Impl, // shared propagation vector with the worm
+		Spec:   worm.Spec,
+	}
+	// One codebase, three infection cohorts staggered over the study: the
+	// cohorts' first-seen instants straddle the distribution-site lifecycle
+	// (both components / one component / DNS gone), so the single M-cluster
+	// legitimately splits into several B-clusters as in the paper.
+	engine := polymorph.PerSource{Seed: r.Uint64()}
+	cohortPop := g.cfg.PerSourcePopulation / 3
+	if cohortPop < 3 {
+		cohortPop = 3
+	}
+	cohorts := []simtime.Interval{weekSpan(2, 28), weekSpan(31, 54), weekSpan(57, 70)}
+	truth := ChannelTruth{Server: ircIP, Port: 6667, Room: "#tay"}
+	for i, window := range cohorts {
+		pop := netmodel.NewPopulation(r, cohortPop, netmodel.Widespread, 0)
+		v := &Variant{
+			Name:       fmt.Sprintf("%s/v%03d", PerSourceFamilyName, i),
+			FamilyName: PerSourceFamilyName,
+			Class:      ClassWorm,
+			Template:   tpl,
+			Engine:     engine,
+			Program:    prog,
+			Population: pop,
+			Activity:   []simtime.Interval{window},
+			WeeklyRate: float64(len(pop.Hosts)) * 0.15,
+		}
+		fam.Variants = append(fam.Variants, v)
+		truth.Variants = append(truth.Variants, v.Name)
+	}
+	g.l.Families = append(g.l.Families, fam)
+	g.l.Channels = append(g.l.Channels, truth)
+	return nil
+}
+
+// Section layouts and import sets bot/dropper codebases draw from; the
+// diversity feeds the μ-dimension invariant counts of Table 1 (section
+// names, imported DLLs, Kernel32 symbol sets).
+var sectionLayouts = [][]string{
+	{".text", ".data"},
+	{".text", ".rdata", ".data"},
+	{".text", ".data", ".rsrc"},
+	{"CODE", "DATA"},
+	{"UPX0", "UPX1"},
+	{".text", ".bss", ".data"},
+}
+
+var importSets = [][]pe.Import{
+	{
+		{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA", "CreateMutexA", "ExitProcess"}},
+		{DLL: "WS2_32.dll", Symbols: []string{"socket", "connect", "send", "recv"}},
+		{DLL: "ADVAPI32.dll", Symbols: []string{"RegSetValueExA"}},
+	},
+	{
+		{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA", "CreateFileA", "WriteFile", "WinExec"}},
+		{DLL: "WININET.dll", Symbols: []string{"InternetOpenA", "InternetOpenUrlA"}},
+	},
+	{
+		{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA", "GetModuleHandleA"}},
+		{DLL: "USER32.dll", Symbols: []string{"MessageBoxA"}},
+		{DLL: "WS2_32.dll", Symbols: []string{"socket", "connect"}},
+	},
+	{
+		{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA", "VirtualAlloc", "CreateProcessA"}},
+		{DLL: "ADVAPI32.dll", Symbols: []string{"RegSetValueExA", "RegOpenKeyA"}},
+	},
+	{
+		{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA", "Sleep", "CopyFileA"}},
+		{DLL: "WS2_32.dll", Symbols: []string{"socket", "connect", "send", "recv", "gethostbyname"}},
+		{DLL: "WININET.dll", Symbols: []string{"InternetOpenA"}},
+	},
+}
+
+// botTemplate builds a bot family's base codebase. Section content lengths
+// use 512-byte steps (the PE file alignment) so patched variants across
+// families rarely collide on file size.
+func botTemplate(r *rand.Rand) *pe.Image {
+	layout := simrng.Pick(r, sectionLayouts)
+	versions := []struct{ maj, min uint8 }{{6, 0}, {7, 1}, {8, 0}}
+	v := simrng.Pick(r, versions)
+	subsystem := uint16(pe.SubsystemGUI)
+	if r.Intn(7) == 0 {
+		subsystem = pe.SubsystemCUI
+	}
+	img := &pe.Image{
+		Machine:     pe.MachineI386,
+		Subsystem:   subsystem,
+		LinkerMajor: v.maj, LinkerMinor: v.min,
+		OSMajor: 4, OSMinor: 0,
+	}
+	for i, name := range layout {
+		chars := uint32(pe.SectionInitializedData | pe.SectionRead | pe.SectionWrite)
+		size := (8 + r.Intn(24)) * 512
+		if i == 0 {
+			chars = pe.SectionCode | pe.SectionExecute | pe.SectionRead
+			size = (32 + r.Intn(48)) * 512
+		}
+		data := make([]byte, size)
+		r.Read(data)
+		img.Sections = append(img.Sections, pe.Section{Name: name, Data: data, Characteristics: chars})
+	}
+	for _, imp := range simrng.Pick(r, importSets) {
+		img.Imports = append(img.Imports, pe.Import{
+			DLL:     imp.DLL,
+			Symbols: append([]string(nil), imp.Symbols...),
+		})
+	}
+	return img
+}
+
+// botFamilies builds the IRC botnets of Table 2.
+func (g *generator) botFamilies() error {
+	r := g.rng.Stream("bots")
+	for i := 0; i < g.cfg.BotFamilies; i++ {
+		name := fmt.Sprintf("bot%02d", i)
+		impl, err := exploit.NewImplementation(g.vuln(i), name+"-impl", r.Uint64())
+		if err != nil {
+			return err
+		}
+
+		server := netmodel.MustParseIP(ircServers[i%len(ircServers)])
+		room := ircRooms[(i*3+i/len(ircRooms))%len(ircRooms)]
+
+		protoChoices := []struct {
+			proto       string
+			port        int
+			interaction shellcode.Interaction
+		}{
+			{"ftp", 21, shellcode.Pull},
+			{"http", 80, shellcode.Pull},
+			{"tftp", 69, shellcode.Pull},
+			{"creceive", 5554, shellcode.Pull},
+		}
+		pc := protoChoices[i%len(protoChoices)]
+		spec := shellcode.Spec{
+			Protocol:    pc.proto,
+			Interaction: pc.interaction,
+			Port:        pc.port,
+			Filename:    filenamePool[i%6],
+		}
+		if i%5 == 4 {
+			spec.RandomFilename = true
+		}
+
+		fam := &Family{
+			Name:   name,
+			Class:  ClassBot,
+			AVName: avNamePool[i%len(avNamePool)],
+			Impl:   impl,
+			Spec:   spec,
+		}
+
+		// Bursty coordinated activity: a handful of short windows.
+		bursts := 2 + r.Intn(4)
+		var windows []simtime.Interval
+		wk := 2 + r.Intn(10)
+		for b := 0; b < bursts && wk < simtime.WeekCount()-3; b++ {
+			length := 1 + r.Intn(3)
+			windows = append(windows, weekSpan(wk, wk+length))
+			wk += length + 1 + r.Intn(12)
+		}
+
+		// The C&C serves commands during the early bursts only for a third
+		// of the families, so that some samples execute after their C&C
+		// went dark (the paper: "not all the samples were executed by
+		// Anubis during the activity period of the C&C server").
+		cncWindows := windows
+		if i%3 == 0 && len(windows) > 1 {
+			cncWindows = windows[:len(windows)-1]
+		}
+		commands := &behavior.Program{Name: name + "-commands", Ops: []behavior.Op{
+			{Kind: behavior.OpScanNetwork, Port: g.vuln(i).Port},
+			{Kind: behavior.OpHTTPDownload, Host: server.String(), Path: "/update.bin"},
+		}}
+		g.l.Env.AddIRC(server, 6667, room, commands, cncWindows...)
+		g.l.Env.AddHTTP(server.String(), "/update.bin", nil, cncWindows...)
+
+		prog := &behavior.Program{
+			Name:      name,
+			Fragility: 0.05,
+			Ops: []behavior.Op{
+				{Kind: behavior.OpCreateFile, Path: fmt.Sprintf(`C:\WINDOWS\system32\%s`, filenamePool[(i+7)%len(filenamePool)])},
+				{Kind: behavior.OpSetRegistry, Path: fmt.Sprintf(`HKLM\...\Run\%s`, name)},
+				{Kind: behavior.OpCreateMutex, Path: name + "-mtx", Volatile: i%4 == 0},
+				{Kind: behavior.OpIRCConnect, Host: server.String(), Port: 6667, Channel: room},
+			},
+		}
+
+		nVariants := 1 + r.Intn(g.cfg.BotMaxVariants)
+		if i%2 == 0 && nVariants < 2 {
+			nVariants = 2
+		}
+		// Bot builds are per-source-keyed (one MD5 per infected host), so
+		// their B-clusters gather multiple samples per variant.
+		var engine polymorph.Engine = polymorph.PerSource{Seed: r.Uint64()}
+		base := botTemplate(r)
+		truth := ChannelTruth{Server: server, Port: 6667, Room: room}
+		for v := 0; v < nVariants; v++ {
+			tpl := base
+			if v > 0 {
+				if r.Intn(2) == 0 {
+					tpl = polymorph.Patch(base, r)
+				} else {
+					tpl = polymorph.Recompile(base, r)
+				}
+				base = tpl
+			}
+			pop := netmodel.NewPopulation(r, 6+r.Intn(20), netmodel.Localized, 1+r.Intn(3))
+			vr := &Variant{
+				Name:            fmt.Sprintf("%s/v%03d", name, v),
+				FamilyName:      name,
+				Class:           ClassBot,
+				Template:        tpl,
+				Engine:          engine,
+				Program:         prog,
+				Population:      pop,
+				Activity:        windows,
+				WeeklyRate:      float64(len(pop.Hosts)) * 0.35,
+				TargetLocations: 2 + r.Intn(3),
+			}
+			fam.Variants = append(fam.Variants, vr)
+			truth.Variants = append(truth.Variants, vr.Name)
+		}
+		g.l.Families = append(g.l.Families, fam)
+		g.l.Channels = append(g.l.Channels, truth)
+	}
+	return nil
+}
+
+// dropperFamilies builds central-repository downloaders. Dropper families
+// share a small pool of exploit implementations: the paper observes that
+// "most malware variants seem to be sharing few distinct exploitation
+// routines for their propagation".
+func (g *generator) dropperFamilies() error {
+	r := g.rng.Stream("droppers")
+	const implPool = 12
+	impls := make([]*exploit.Implementation, 0, implPool)
+	for k := 0; k < implPool && k < g.cfg.DropperFamilies; k++ {
+		impl, err := exploit.NewImplementation(g.vuln(k+1), fmt.Sprintf("dropper-impl%02d", k), r.Uint64())
+		if err != nil {
+			return err
+		}
+		impls = append(impls, impl)
+	}
+	for i := 0; i < g.cfg.DropperFamilies; i++ {
+		name := fmt.Sprintf("dropper%02d", i)
+		impl := impls[i%len(impls)]
+		repo := netmodel.MustParseIP(fmt.Sprintf("85.%d.%d.%d", 10+i, 16+i*3%200, 10+i*7%200))
+		host := fmt.Sprintf("cdn%02d.dist.example", i)
+		spec := shellcode.Spec{
+			Protocol:    []string{"http", "blink"}[i%2],
+			Interaction: shellcode.Central,
+			Port:        []int{80, 8080}[i%2],
+			Filename:    filenamePool[i%5],
+			Repository:  repo,
+		}
+
+		window := weekSpan(4+r.Intn(30), 40+r.Intn(simtime.WeekCount()-40))
+		comp := &behavior.Program{Name: name + "-stage2", Ops: []behavior.Op{
+			{Kind: behavior.OpCreateFile, Path: fmt.Sprintf(`C:\WINDOWS\TEMP\%s.tmp`, name)},
+			{Kind: behavior.OpSetRegistry, Path: fmt.Sprintf(`HKLM\...\Run\%s`, name)},
+		}}
+		g.l.Env.AddDNS(host, repo, window)
+		g.l.Env.AddHTTP(host, "/payload.bin", comp, window)
+
+		prog := &behavior.Program{
+			Name:      name,
+			Fragility: 0.04,
+			Ops: []behavior.Op{
+				{Kind: behavior.OpCreateProcess, Path: name + ".exe"},
+				{Kind: behavior.OpDNSResolve, Host: host, OnFailSkip: 1},
+				{Kind: behavior.OpHTTPDownload, Host: host, Path: "/payload.bin"},
+				{Kind: behavior.OpSleep, Seconds: 5},
+			},
+		}
+		fam := &Family{
+			Name:   name,
+			Class:  ClassDropper,
+			AVName: avNamePool[(i+5)%len(avNamePool)],
+			Impl:   impl,
+			Spec:   spec,
+		}
+		nVariants := 1 + i%2
+		// Two thirds of the dropper families ship per-source builds, giving
+		// their B-clusters more than one member.
+		var engine polymorph.Engine = polymorph.None{}
+		if i%3 != 2 {
+			engine = polymorph.PerSource{Seed: r.Uint64()}
+		}
+		base := botTemplate(r)
+		for v := 0; v < nVariants; v++ {
+			tpl := base
+			if v > 0 {
+				tpl = polymorph.Patch(base, r)
+			}
+			pop := netmodel.NewPopulation(r, 15+r.Intn(50), netmodel.Widespread, 0)
+			fam.Variants = append(fam.Variants, &Variant{
+				Name:       fmt.Sprintf("%s/v%03d", name, v),
+				FamilyName: name,
+				Class:      ClassDropper,
+				Template:   tpl,
+				Engine:     engine,
+				Program:    prog,
+				Population: pop,
+				Activity:   []simtime.Interval{window},
+				WeeklyRate: float64(len(pop.Hosts)) * 0.025,
+			})
+		}
+		g.l.Families = append(g.l.Families, fam)
+	}
+	return nil
+}
+
+// rareFamilies builds the long tail of infrequently observed samples.
+func (g *generator) rareFamilies() error {
+	r := g.rng.Stream("rares")
+	for i := 0; i < g.cfg.RareFamilies; i++ {
+		name := fmt.Sprintf("rare%02d", i)
+		impl, err := exploit.NewImplementation(g.vuln(i), name+"-impl", r.Uint64())
+		if err != nil {
+			return err
+		}
+		spec := shellcode.Spec{
+			Protocol:    []string{"ftp", "http", "tftp"}[i%3],
+			Interaction: shellcode.Pull,
+			Port:        []int{21, 80, 69}[i%3],
+			Filename:    fmt.Sprintf("rare%02d.exe", i),
+		}
+		prog := &behavior.Program{
+			Name: name,
+			Ops: []behavior.Op{
+				{Kind: behavior.OpCreateFile, Path: fmt.Sprintf(`C:\WINDOWS\%s.dll`, name)},
+				{Kind: behavior.OpCreateMutex, Path: name},
+				{Kind: behavior.OpSetRegistry, Path: fmt.Sprintf(`HKLM\...\%s`, name)},
+			},
+		}
+		fam := &Family{
+			Name:   name,
+			Class:  ClassRare,
+			AVName: avNamePool[(i+2)%len(avNamePool)],
+			Impl:   impl,
+			Spec:   spec,
+		}
+		pop := netmodel.NewPopulation(r, 1+r.Intn(2), netmodel.Localized, 1)
+		start := 2 + r.Intn(simtime.WeekCount()-4)
+		fam.Variants = append(fam.Variants, &Variant{
+			Name:       name + "/v000",
+			FamilyName: name,
+			Class:      ClassRare,
+			Template:   botTemplate(r),
+			Engine:     polymorph.None{},
+			Program:    prog,
+			Population: pop,
+			Activity:   []simtime.Interval{weekSpan(start, start+1)},
+			WeeklyRate: 1.5 + r.Float64()*2,
+		})
+		g.l.Families = append(g.l.Families, fam)
+	}
+	return nil
+}
+
+// weekSpan returns the interval covering weeks [start, end), clamped to
+// the study window.
+func weekSpan(start, end int) simtime.Interval {
+	if end > simtime.WeekCount() {
+		end = simtime.WeekCount()
+	}
+	return simtime.Interval{Start: simtime.WeekStart(start), End: simtime.WeekStart(end)}
+}
+
+// logUniform samples an integer log-uniformly in [min, max].
+func logUniform(r *rand.Rand, min, max int) int {
+	lo, hi := math.Log(float64(min)), math.Log(float64(max))
+	return int(math.Exp(lo + r.Float64()*(hi-lo)))
+}

@@ -1,0 +1,99 @@
+package pe
+
+import (
+	"testing"
+)
+
+func TestChecksumRoundTrip(t *testing.T) {
+	data, err := testImage().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unstamped image verifies trivially.
+	ok, err := VerifyChecksum(data)
+	if err != nil || !ok {
+		t.Fatalf("unstamped image: ok=%v err=%v", ok, err)
+	}
+	if err := SetChecksum(data); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = VerifyChecksum(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("stamped image must verify")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	data, err := testImage().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetChecksum(data); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte deep in the section data.
+	data[len(data)-100] ^= 0xFF
+	ok, err := VerifyChecksum(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("corrupted image must fail verification")
+	}
+}
+
+func TestChecksumStampingIsStable(t *testing.T) {
+	data, err := testImage().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetChecksum(data); err != nil {
+		t.Fatal(err)
+	}
+	// The checksum excludes its own field: re-computing over the stamped
+	// image must reproduce the stored value.
+	if err := SetChecksum(data); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := VerifyChecksum(data)
+	if err != nil || !ok {
+		t.Fatalf("double stamping broke verification: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestChecksumErrors(t *testing.T) {
+	if _, err := Checksum([]byte("nope")); err == nil {
+		t.Error("non-PE must error")
+	}
+	data, err := testImage().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Checksum(data[:0x90]); err == nil {
+		t.Error("truncated header must error")
+	}
+	if _, err := VerifyChecksum([]byte("xx")); err == nil {
+		t.Error("VerifyChecksum on garbage must error")
+	}
+	if err := SetChecksum([]byte("xx")); err == nil {
+		t.Error("SetChecksum on garbage must error")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data, err := testImage().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd := append(append([]byte(nil), data...), 0x41)
+	if err := SetChecksum(odd); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := VerifyChecksum(odd)
+	if err != nil || !ok {
+		t.Fatalf("odd-length image: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package pehash implements a peHash-style static clustering baseline
+// (Wicherski, LEET'09 — reference [26] of the paper).
+//
+// peHash groups polymorphic binaries by hashing the portions of the PE
+// structure that contemporary packers and polymorphic engines do not
+// mutate: COFF/optional header facts and, per section, the position,
+// flags, and a coarse compressibility class of the content — but not the
+// content bytes themselves. Samples of one polymorphic family collapse
+// onto one hash value.
+//
+// The paper cites peHash as the prior static-clustering approach and
+// builds EPM instead, arguing for a technique that spans all three attack
+// dimensions and tolerates header variation through invariant discovery.
+// This package provides the baseline so the reproduction can compare the
+// two on the same corpus (see analysis and cmd/experiments).
+package pehash
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pe"
+)
+
+// Hash computes the peHash of a PE image. Non-PE or truncated input
+// yields ok=false: peHash is undefined for corrupted samples, which the
+// original system set aside exactly like this.
+func Hash(data []byte) (string, bool) {
+	f, err := pe.Parse(data)
+	if err != nil {
+		return "", false
+	}
+	h := sha1.New()
+	put16 := func(v uint16) {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], v)
+		_, _ = h.Write(b[:])
+	}
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		_, _ = h.Write(b[:])
+	}
+
+	// Header facts stable under repacking of one build chain.
+	put16(f.Machine)
+	put16(f.Subsystem)
+	_, _ = h.Write([]byte{f.LinkerMajor, f.LinkerMinor})
+	put16(f.OSMajor)
+	put16(f.OSMinor)
+	put16(uint16(len(f.Sections)))
+
+	// Per-section structure: name, characteristics, size class, and an
+	// entropy bucket of the raw content. Raw bytes are intentionally NOT
+	// hashed — that is the whole point of peHash.
+	for _, s := range f.Sections {
+		_, _ = h.Write([]byte(s.Name))
+		put32(s.Characteristics)
+		put32(uint32(sizeClass(int(s.RawSize))))
+		_, _ = h.Write([]byte{entropyBucket(s.Data)})
+	}
+
+	// Import structure (DLL names and symbol counts, not addresses).
+	dlls := make([]string, 0, len(f.Imports))
+	counts := make(map[string]int, len(f.Imports))
+	for _, imp := range f.Imports {
+		dlls = append(dlls, imp.DLL)
+		counts[imp.DLL] = len(imp.Symbols)
+	}
+	sort.Strings(dlls)
+	for _, d := range dlls {
+		_, _ = h.Write([]byte(d))
+		put16(uint16(counts[d]))
+	}
+
+	return hex.EncodeToString(h.Sum(nil)[:10]), true
+}
+
+// sizeClass buckets a raw size by its power-of-two magnitude, so small
+// patches (which peHash cannot see past) still move the hash while
+// sub-alignment jitter does not.
+func sizeClass(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n / 512
+}
+
+// entropyBucket classifies content as low / medium / high entropy, the
+// coarse compressibility signal peHash folds into the hash. Packed and
+// polymorphic sections are uniformly high-entropy, so instances of one
+// engine agree.
+func entropyBucket(data []byte) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	var entropy float64
+	n := float64(len(data))
+	for _, c := range freq {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		entropy -= p * math.Log2(p)
+	}
+	switch {
+	case entropy < 3:
+		return 1
+	case entropy < 6.5:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Cluster is one peHash cluster.
+type Cluster struct {
+	Hash    string
+	Members []string // sample IDs, sorted
+}
+
+// Size returns the number of members.
+func (c Cluster) Size() int { return len(c.Members) }
+
+// Result is a peHash clustering.
+type Result struct {
+	Clusters []Cluster
+	// Unhashable lists samples peHash could not process (non-PE input).
+	Unhashable []string
+	byID       map[string]int
+}
+
+// ClusterOf returns the cluster index of a sample ID, or -1.
+func (r *Result) ClusterOf(id string) int {
+	if i, ok := r.byID[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Input is one sample to cluster.
+type Input struct {
+	ID   string
+	Data []byte
+}
+
+// Run clusters the inputs by peHash value. Clusters are ordered largest
+// first; ties break on the hash.
+func Run(inputs []Input) (*Result, error) {
+	res := &Result{byID: make(map[string]int, len(inputs))}
+	groups := make(map[string][]string)
+	seen := make(map[string]bool, len(inputs))
+	for _, in := range inputs {
+		if in.ID == "" {
+			return nil, fmt.Errorf("pehash: input with empty ID")
+		}
+		if seen[in.ID] {
+			return nil, fmt.Errorf("pehash: duplicate input ID %q", in.ID)
+		}
+		seen[in.ID] = true
+		hv, ok := Hash(in.Data)
+		if !ok {
+			res.Unhashable = append(res.Unhashable, in.ID)
+			continue
+		}
+		groups[hv] = append(groups[hv], in.ID)
+	}
+	res.Clusters = make([]Cluster, 0, len(groups))
+	for hv, members := range groups {
+		sort.Strings(members)
+		res.Clusters = append(res.Clusters, Cluster{Hash: hv, Members: members})
+	}
+	sort.Slice(res.Clusters, func(a, b int) bool {
+		if len(res.Clusters[a].Members) != len(res.Clusters[b].Members) {
+			return len(res.Clusters[a].Members) > len(res.Clusters[b].Members)
+		}
+		return res.Clusters[a].Hash < res.Clusters[b].Hash
+	})
+	for i, c := range res.Clusters {
+		for _, m := range c.Members {
+			res.byID[m] = i
+		}
+	}
+	sort.Strings(res.Unhashable)
+	return res, nil
+}

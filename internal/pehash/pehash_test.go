@@ -1,0 +1,202 @@
+package pehash
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/pe"
+	"repro/internal/polymorph"
+	"repro/internal/simrng"
+)
+
+func template() *pe.Image {
+	r := simrng.New(1).Stream("tpl")
+	text := make([]byte, 24*1024)
+	data := make([]byte, 8*1024)
+	r.Read(text)
+	r.Read(data)
+	return &pe.Image{
+		Machine:     pe.MachineI386,
+		Subsystem:   pe.SubsystemGUI,
+		LinkerMajor: 9, LinkerMinor: 2,
+		OSMajor: 6, OSMinor: 4,
+		Sections: []pe.Section{
+			{Name: ".text", Data: text, Characteristics: pe.SectionCode | pe.SectionExecute | pe.SectionRead},
+			{Name: ".data", Data: data, Characteristics: pe.SectionInitializedData | pe.SectionRead | pe.SectionWrite},
+		},
+		Imports: []pe.Import{{DLL: "KERNEL32.dll", Symbols: []string{"GetProcAddress", "LoadLibraryA"}}},
+	}
+}
+
+func TestHashStableUnderPolymorphism(t *testing.T) {
+	tpl := template()
+	engine := polymorph.Allaple{Seed: 7}
+	hashes := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		raw, err := engine.Mutate(tpl, polymorph.Context{Source: 1, Instance: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv, ok := Hash(raw)
+		if !ok {
+			t.Fatal("Hash failed on valid PE")
+		}
+		hashes[hv] = true
+	}
+	if len(hashes) != 1 {
+		t.Errorf("polymorphic instances produced %d distinct peHashes, want 1", len(hashes))
+	}
+}
+
+func TestHashSeparatesVariants(t *testing.T) {
+	r := simrng.New(2).Stream("variants")
+	tpl := template()
+	baseRaw, err := tpl.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseHash, ok := Hash(baseRaw)
+	if !ok {
+		t.Fatal("base hash failed")
+	}
+
+	patched := polymorph.Patch(tpl, r)
+	patchedRaw, err := patched.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patchedHash, ok := Hash(patchedRaw)
+	if !ok {
+		t.Fatal("patched hash failed")
+	}
+	if patchedHash == baseHash {
+		t.Error("a size-changing patch must change the peHash")
+	}
+
+	recompiled := polymorph.Recompile(tpl, r)
+	recompiledRaw, err := recompiled.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recompiledHash, ok := Hash(recompiledRaw)
+	if !ok {
+		t.Fatal("recompiled hash failed")
+	}
+	if recompiledHash == baseHash {
+		t.Error("a recompilation must change the peHash")
+	}
+}
+
+func TestHashRejectsGarbage(t *testing.T) {
+	if _, ok := Hash([]byte("not a pe")); ok {
+		t.Error("Hash accepted text")
+	}
+	raw, err := template().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Hash(raw[:len(raw)/2]); ok {
+		t.Error("Hash accepted truncated PE")
+	}
+}
+
+func TestEntropyBucket(t *testing.T) {
+	low := bytes.Repeat([]byte{0x00}, 4096)
+	if got := entropyBucket(low); got != 1 {
+		t.Errorf("constant data bucket = %d, want 1", got)
+	}
+	var med []byte
+	for i := 0; i < 4096; i++ {
+		med = append(med, byte(i%16))
+	}
+	if got := entropyBucket(med); got != 2 {
+		t.Errorf("16-symbol data bucket = %d, want 2", got)
+	}
+	high := make([]byte, 4096)
+	simrng.New(3).Stream("rnd").Read(high)
+	if got := entropyBucket(high); got != 3 {
+		t.Errorf("random data bucket = %d, want 3", got)
+	}
+	if got := entropyBucket(nil); got != 0 {
+		t.Errorf("empty bucket = %d, want 0", got)
+	}
+}
+
+func TestRunClusters(t *testing.T) {
+	tpl := template()
+	engine := polymorph.Allaple{Seed: 9}
+	r := simrng.New(4).Stream("run")
+	other := polymorph.Patch(tpl, r)
+
+	var inputs []Input
+	for i := 0; i < 10; i++ {
+		raw, err := engine.Mutate(tpl, polymorph.Context{Instance: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, Input{ID: fmt.Sprintf("fam-a-%02d", i), Data: raw})
+	}
+	otherRaw, err := other.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs,
+		Input{ID: "fam-b-00", Data: otherRaw},
+		Input{ID: "corrupt", Data: []byte("junk")},
+	)
+
+	res, err := Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(res.Clusters))
+	}
+	if res.Clusters[0].Size() != 10 {
+		t.Errorf("big cluster size = %d", res.Clusters[0].Size())
+	}
+	if len(res.Unhashable) != 1 || res.Unhashable[0] != "corrupt" {
+		t.Errorf("unhashable = %v", res.Unhashable)
+	}
+	if res.ClusterOf("fam-a-03") != 0 || res.ClusterOf("fam-b-00") != 1 {
+		t.Error("cluster assignment wrong")
+	}
+	if res.ClusterOf("corrupt") != -1 || res.ClusterOf("missing") != -1 {
+		t.Error("non-clustered IDs must map to -1")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run([]Input{{ID: ""}}); err == nil {
+		t.Error("empty ID must error")
+	}
+	if _, err := Run([]Input{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Error("duplicate ID must error")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	raw, err := template().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Hash(raw)
+	b, _ := Hash(raw)
+	if a != b || a == "" {
+		t.Errorf("hash not deterministic: %q vs %q", a, b)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	raw, err := template().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Hash(raw); !ok {
+			b.Fatal("hash failed")
+		}
+	}
+}

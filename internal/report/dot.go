@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/scriptgen"
+)
+
+// Figure3DOT renders the E→P→M→B relationship graph in Graphviz DOT, the
+// form in which the paper's Figure 3 would actually be drawn.
+func Figure3DOT(g *analysis.RelationGraph) string {
+	var sb strings.Builder
+	sb.WriteString("digraph epm {\n")
+	sb.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	rank := func(tag string, nodes []int) {
+		sb.WriteString("  { rank=same; ")
+		for _, n := range nodes {
+			fmt.Fprintf(&sb, "%s%d; ", tag, n)
+		}
+		sb.WriteString("}\n")
+	}
+	rank("E", g.ENodes)
+	rank("P", g.PNodes)
+	rank("M", g.MNodes)
+	rank("B", g.BNodes)
+
+	writeEdges := func(adj map[int]map[int]int, fromTag, toTag string) {
+		froms := make([]int, 0, len(adj))
+		for f := range adj {
+			froms = append(froms, f)
+		}
+		sort.Ints(froms)
+		for _, f := range froms {
+			tos := make([]int, 0, len(adj[f]))
+			for t := range adj[f] {
+				tos = append(tos, t)
+			}
+			sort.Ints(tos)
+			for _, t := range tos {
+				fmt.Fprintf(&sb, "  %s%d -> %s%d [label=\"%d\"];\n", fromTag, f, toTag, t, adj[f][t])
+			}
+		}
+	}
+	writeEdges(g.EP, "E", "P")
+	writeEdges(g.PM, "P", "M")
+	writeEdges(g.MB, "M", "B")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// FSMDOT renders a learned FSM snapshot in Graphviz DOT: states as nodes,
+// matured edges labeled with their fixed-region summary.
+func FSMDOT(snap scriptgen.FSMSnapshot) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph fsm_port_%d {\n", snap.Port)
+	sb.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+	sb.WriteString("  s0 [shape=doublecircle];\n")
+	for _, e := range snap.Edges {
+		fmt.Fprintf(&sb, "  s%d -> s%d [label=\"%s\"];\n", e.From, e.To, patternLabel(e.Pattern))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// patternLabel summarizes a message pattern for an edge label.
+func patternLabel(p scriptgen.Pattern) string {
+	fixed := 0
+	for _, r := range p.Regions {
+		fixed += len(r.Bytes)
+	}
+	return fmt.Sprintf("%d regions / %d fixed bytes", len(p.Regions), fixed)
+}

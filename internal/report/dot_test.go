@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/exploit"
+	"repro/internal/scriptgen"
+	"repro/internal/simrng"
+)
+
+func TestFigure3DOT(t *testing.T) {
+	res := results(t)
+	g, err := analysis.BuildRelationGraph(res.Dataset, res.E, res.P, res.M, res.B, res.CrossMap, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := Figure3DOT(g)
+	for _, want := range []string{"digraph epm", "rank=same", "->", "label="} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("DOT not terminated")
+	}
+	// Braces must balance.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestFSMDOT(t *testing.T) {
+	v, err := exploit.NewVulnerability("asn1", 445, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl, err := exploit.NewImplementation(v, "impl-a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := simrng.New(1).Stream("dot")
+	f := scriptgen.NewFSM(445, 3)
+	for i := 0; i < 4; i++ {
+		payload := make([]byte, 30+i)
+		r.Read(payload)
+		f.Learn(impl.Dialog(r, payload).ClientMessages())
+	}
+	dot := FSMDOT(f.Snapshot())
+	for _, want := range []string{"digraph fsm_port_445", "s0 [shape=doublecircle]", "s0 ->", "fixed bytes"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("FSM DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package sandbox
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/simrng"
+)
+
+// Default execution parameters. The paper states each Anubis behavioural
+// profile corresponds to four minutes of execution.
+const (
+	// DefaultBudget is the simulated execution time limit.
+	DefaultBudget = 4 * time.Minute
+	// opCost is the simulated duration of one non-sleep operation.
+	opCost = 2 * time.Second
+	// maxNoiseFeatures bounds the run-specific noise added to degraded
+	// executions.
+	maxNoiseFeatures = 6
+	// maxDepth bounds recursive component execution.
+	maxDepth = 4
+)
+
+// Sandbox executes behavior programs against an environment.
+//
+// Run is safe for concurrent use: the environment is read-only after
+// construction and every run derives its randomness from the run key, so
+// enrichment pipelines may execute samples on a worker pool.
+type Sandbox struct {
+	env    *Environment
+	budget time.Duration
+	rng    *simrng.Source
+}
+
+// New creates a sandbox. A zero budget selects DefaultBudget; a nil
+// environment means every network operation fails (an air-gapped sandbox).
+func New(env *Environment, budget time.Duration, rng *simrng.Source) *Sandbox {
+	if env == nil {
+		env = NewEnvironment()
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	if rng == nil {
+		rng = simrng.New(0)
+	}
+	return &Sandbox{env: env, budget: budget, rng: rng}
+}
+
+// Report is the outcome of one sandbox execution.
+type Report struct {
+	// Profile is the behavioral profile observed during the run.
+	Profile *behavior.Profile
+	// At is the wall-clock instant the execution started; network outcomes
+	// depend on it.
+	At time.Time
+	// Degraded reports that the fragility model fired: the sample crashed
+	// after a prefix of its operations and the profile contains noise.
+	Degraded bool
+	// OpsExecuted counts the operations actually performed (including
+	// nested components).
+	OpsExecuted int
+	// BudgetExhausted reports that the four-minute window ended before the
+	// program did.
+	BudgetExhausted bool
+}
+
+// Run executes prog at the given instant. runKey distinguishes repeated
+// analyses of the same sample: re-running with a different key redraws the
+// fragility and volatile-feature randomness, which is what makes
+// re-execution healing (§4.2) work.
+func (sb *Sandbox) Run(prog *behavior.Program, at time.Time, runKey string) *Report {
+	r := sb.rng.Child("run").Stream(runKey)
+	rep := &Report{Profile: behavior.NewProfile(), At: at}
+
+	limit := len(prog.Ops)
+	if prog.Fragility > 0 && r.Float64() < prog.Fragility {
+		rep.Degraded = true
+		if len(prog.Ops) > 1 {
+			limit = 1 + r.Intn(len(prog.Ops)-1)
+		}
+		for i, n := 0, 1+r.Intn(maxNoiseFeatures); i < n; i++ {
+			rep.Profile.Add(fmt.Sprintf("noise|%08x", r.Uint32()))
+		}
+	}
+
+	exec := execution{sb: sb, r: r, rep: rep, deadline: at.Add(sb.budget)}
+	exec.run(prog.Ops[:limit], at, 0)
+	return rep
+}
+
+// execution tracks one run's simulated clock and recursion depth.
+type execution struct {
+	sb       *Sandbox
+	r        *rand.Rand
+	rep      *Report
+	deadline time.Time
+}
+
+// run interprets ops starting at the simulated instant now and returns the
+// instant after the last executed op.
+func (ex *execution) run(ops []behavior.Op, now time.Time, depth int) time.Time {
+	if depth > maxDepth {
+		return now
+	}
+	skip := 0
+	for _, op := range ops {
+		if skip > 0 {
+			skip--
+			continue
+		}
+		if !now.Before(ex.deadline) {
+			ex.rep.BudgetExhausted = true
+			return now
+		}
+		var ok bool
+		now, ok = ex.step(op, now, depth)
+		if !ok && op.OnFailSkip > 0 {
+			skip = op.OnFailSkip
+		}
+	}
+	return now
+}
+
+// step executes one op, emits its profile features, and reports success.
+func (ex *execution) step(op behavior.Op, now time.Time, depth int) (time.Time, bool) {
+	ex.rep.OpsExecuted++
+	cost := opCost
+	if op.Kind == behavior.OpSleep {
+		cost = time.Duration(op.Seconds) * time.Second
+	}
+	after := now.Add(cost)
+
+	object := op.Path
+	if op.Volatile {
+		// Run-specific randomness in the observed object name (random
+		// mutex names, temp files, ...): a per-run noise source.
+		object = fmt.Sprintf("%s-%06x", op.Path, ex.r.Uint32()&0xffffff)
+	}
+
+	switch op.Kind {
+	case behavior.OpCreateFile, behavior.OpWriteFile, behavior.OpDeleteFile,
+		behavior.OpSetRegistry, behavior.OpCreateMutex, behavior.OpCreateProcess,
+		behavior.OpInfectHTML:
+		ex.rep.Profile.Add(behavior.FeatureOp(op.Kind, object))
+		return after, true
+
+	case behavior.OpSleep:
+		return after, true
+
+	case behavior.OpScanNetwork:
+		ex.rep.Profile.Add(behavior.FeatureOp(op.Kind, fmt.Sprintf("tcp/%d", op.Port)))
+		return after, true
+
+	case behavior.OpDoS:
+		ex.rep.Profile.Add(behavior.FeatureOp(op.Kind, op.Host))
+		return after, true
+
+	case behavior.OpDNSResolve:
+		_, ok := ex.sb.env.ResolveDNS(op.Host, now)
+		ex.rep.Profile.Add(behavior.FeatureNet(op.Kind, op.Host, ok))
+		return after, ok
+
+	case behavior.OpTCPConnect:
+		ok := ex.sb.env.Reachable(op.Host, op.Port, now)
+		ex.rep.Profile.Add(behavior.FeatureNet(op.Kind, fmt.Sprintf("%s:%d", op.Host, op.Port), ok))
+		return after, ok
+
+	case behavior.OpHTTPDownload:
+		component, ok := ex.sb.env.HTTPFetch(op.Host, op.Path, now)
+		ex.rep.Profile.Add(behavior.FeatureNet(op.Kind, op.Host+op.Path, ok))
+		if !ok {
+			return after, false
+		}
+		if component != nil {
+			ex.rep.Profile.Add(behavior.FeatureOp(behavior.OpCreateProcess, component.Name))
+			after = ex.run(component.Ops, after, depth+1)
+		}
+		return after, true
+
+	case behavior.OpIRCConnect:
+		commands, ok := ex.sb.env.IRCCommands(op.Host, op.Port, op.Channel, now)
+		if !ok {
+			ex.rep.Profile.Add(behavior.FeatureNet(behavior.OpTCPConnect,
+				fmt.Sprintf("%s:%d", op.Host, op.Port), false))
+			return after, false
+		}
+		ex.rep.Profile.Add(behavior.FeatureIRC(op.Host, op.Port, op.Channel))
+		if commands != nil {
+			after = ex.run(commands.Ops, after, depth+1)
+		}
+		return after, true
+
+	default:
+		return after, false
+	}
+}

@@ -1,0 +1,361 @@
+// Package sgnet simulates the SGNET distributed honeypot deployment
+// observing the generated malware landscape.
+//
+// The simulation reproduces the observation pipeline of the real system:
+// infected populations scan the Internet and hit sensor addresses; each
+// hit plays a full exploit dialog against the sensor; sensors model the
+// conversation with ScriptGen-learned FSMs, proxying unknown activity to a
+// sample-factory oracle until the model matures; the taint oracle locates
+// the injected payload; Nepenthes-style shellcode analysis recovers the
+// download instructions; download emulation (with realistic failure
+// injection) stores the malware bytes; and static feature extraction fills
+// the μ facts of the event record. Every observable in the resulting
+// dataset is derived through this pipeline — never copied from ground
+// truth.
+package sgnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/download"
+	"repro/internal/exploit"
+	"repro/internal/malgen"
+	"repro/internal/netmodel"
+	"repro/internal/pe"
+	"repro/internal/pehash"
+	"repro/internal/polymorph"
+	"repro/internal/scriptgen"
+	"repro/internal/shellcode"
+	"repro/internal/simrng"
+	"repro/internal/simtime"
+)
+
+// Config parameterizes the deployment.
+type Config struct {
+	// Locations is the number of monitored network locations (the paper's
+	// deployment spans 30).
+	Locations int
+	// SensorsPerLocation is the number of monitored addresses per location
+	// (30 x 5 = the paper's 150 IPs).
+	SensorsPerLocation int
+	// MatureAfter is the ScriptGen exemplar threshold before an FSM edge
+	// generalizes.
+	MatureAfter int
+	// Failure models Nepenthes download-module failures; the paper
+	// attributes 6353-5165 non-executable samples to them.
+	Failure shellcode.FailureModel
+}
+
+// DefaultConfig matches the paper's deployment scale.
+func DefaultConfig() Config {
+	return Config{
+		Locations:          30,
+		SensorsPerLocation: 5,
+		MatureAfter:        scriptgen.DefaultMatureAfter,
+		Failure:            shellcode.FailureModel{TruncateProb: 0.14, FailProb: 0.02},
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Locations <= 0 || c.SensorsPerLocation <= 0 {
+		return fmt.Errorf("sgnet: deployment sizes must be positive, got %d x %d", c.Locations, c.SensorsPerLocation)
+	}
+	if c.Failure.TruncateProb < 0 || c.Failure.FailProb < 0 ||
+		c.Failure.TruncateProb+c.Failure.FailProb > 1 {
+		return fmt.Errorf("sgnet: invalid failure model %+v", c.Failure)
+	}
+	return nil
+}
+
+// Stats summarize a simulation run.
+type Stats struct {
+	// Hits is the total number of code-injection attacks observed.
+	Hits int
+	// Proxied counts conversations that required the sample-factory
+	// oracle (FSM not yet matured).
+	Proxied int
+	// Unclassified counts events whose final conversation never matched a
+	// matured FSM path.
+	Unclassified int
+	// Downloads tallies outcomes.
+	DownloadsOK        int
+	DownloadsTruncated int
+	DownloadsFailed    int
+	// ShellcodeErrors counts payloads the Nepenthes analyzer rejected.
+	ShellcodeErrors int
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Dataset    *dataset.Dataset
+	Deployment *netmodel.Deployment
+	// FSMs holds the learned models when the simulation used the
+	// in-process observer; it is nil under a custom EpsilonObserver.
+	FSMs  *scriptgen.Set
+	Stats Stats
+}
+
+// EpsilonObserver abstracts who learns protocol models and classifies
+// conversations: the in-process FSM set (monolithic simulation) or a
+// distributed deployment of sensors and a gateway (package sgnetd).
+type EpsilonObserver interface {
+	// Observe handles one conversation during the observation pass;
+	// sensor identifies the attacked honeypot address. It reports whether
+	// the conversation had to be proxied to an oracle.
+	Observe(sensor string, port int, msgs [][]byte) (proxied bool, err error)
+	// Finalize runs after the observation pass, before classification
+	// (e.g. a final FSM snapshot sync).
+	Finalize() error
+	// Classify resolves the final FSM path of a conversation.
+	Classify(port int, msgs [][]byte) (path string, ok bool, err error)
+}
+
+// localObserver is the in-process implementation backed by scriptgen.
+type localObserver struct {
+	set *scriptgen.Set
+}
+
+func (lo *localObserver) Observe(_ string, port int, msgs [][]byte) (bool, error) {
+	return lo.set.Learn(port, msgs).Proxied, nil
+}
+
+func (lo *localObserver) Finalize() error { return nil }
+
+func (lo *localObserver) Classify(port int, msgs [][]byte) (string, bool, error) {
+	path, ok := lo.set.Classify(port, msgs)
+	return path, ok, nil
+}
+
+// referenceSensors is the monitored-address count the landscape's hit
+// rates are calibrated for (the paper's deployment: 150 IPs). Larger or
+// smaller deployments observe proportionally more or fewer attacks.
+const referenceSensors = 150
+
+// hit is one scheduled attack before observation.
+type hit struct {
+	at       time.Time
+	variant  *malgen.Variant
+	family   *malgen.Family
+	attacker netmodel.IP
+	sensor   netmodel.IP
+	seq      int
+}
+
+// Simulate runs the deployment over the full study period with the
+// in-process FSM observer.
+func Simulate(l *malgen.Landscape, cfg Config, rng *simrng.Source) (*Result, error) {
+	return SimulateWith(l, cfg, rng, nil)
+}
+
+// SimulateWith runs the deployment with a custom EpsilonObserver; a nil
+// observer selects the in-process FSM models.
+func SimulateWith(l *malgen.Landscape, cfg Config, rng *simrng.Source, obs EpsilonObserver) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if l == nil || len(l.Families) == 0 {
+		return nil, fmt.Errorf("sgnet: empty landscape")
+	}
+	deployRng := rng.Stream("deployment")
+	deployment, err := netmodel.NewDeployment(deployRng, cfg.Locations, cfg.SensorsPerLocation)
+	if err != nil {
+		return nil, err
+	}
+
+	hits := schedule(l, deployment, rng)
+	res := &Result{
+		Dataset:    dataset.New(),
+		Deployment: deployment,
+	}
+	if obs == nil {
+		local := &localObserver{set: scriptgen.NewSet(cfg.MatureAfter)}
+		res.FSMs = local.set
+		obs = local
+	}
+	res.Stats.Hits = len(hits)
+
+	// Pass 1: observe each attack in chronological order, learning FSMs
+	// online and recording everything needed to assemble the events.
+	type observed struct {
+		hit      hit
+		port     int
+		clients  [][]byte
+		action   shellcode.Action
+		actionOK bool
+		outcome  shellcode.DownloadOutcome
+		features pe.Features
+		peHash   string
+	}
+	evRng := rng.Stream("events")
+	observations := make([]observed, 0, len(hits))
+	var instance uint64
+	for _, h := range hits {
+		instance++
+		payload, err := shellcode.Encode(h.family.Spec, h.attacker, evRng)
+		if err != nil {
+			return nil, fmt.Errorf("sgnet: encoding shellcode for %s: %w", h.variant.Name, err)
+		}
+		dialog := h.family.Impl.Dialog(evRng, payload)
+		clients := dialog.ClientMessages()
+		proxied, err := obs.Observe(h.sensor.String(), dialog.Port, clients)
+		if err != nil {
+			return nil, fmt.Errorf("sgnet: observing conversation for %s: %w", h.variant.Name, err)
+		}
+		if proxied {
+			res.Stats.Proxied++
+		}
+
+		ob := observed{hit: h, port: dialog.Port, clients: clients}
+
+		// Taint oracle + shellcode analysis.
+		if injected := exploit.ExtractPayload(dialog); injected != nil {
+			if action, err := shellcode.Analyze(injected); err == nil {
+				ob.action = action
+				ob.actionOK = true
+			} else {
+				res.Stats.ShellcodeErrors++
+			}
+		} else {
+			res.Stats.ShellcodeErrors++
+		}
+
+		// Malware transfer.
+		if ob.actionOK {
+			raw, err := h.variant.Engine.Mutate(h.variant.Template, polymorphContext(h.attacker, instance))
+			if err != nil {
+				return nil, fmt.Errorf("sgnet: mutating %s: %w", h.variant.Name, err)
+			}
+			stored, transcript, err := download.Run(ob.action, raw, cfg.Failure, evRng)
+			if err != nil {
+				return nil, fmt.Errorf("sgnet: transferring %s: %w", h.variant.Name, err)
+			}
+			outcome := transcript.Outcome
+			ob.outcome = outcome
+			switch outcome {
+			case shellcode.DownloadOK:
+				res.Stats.DownloadsOK++
+			case shellcode.DownloadTruncated:
+				res.Stats.DownloadsTruncated++
+			case shellcode.DownloadFailed:
+				res.Stats.DownloadsFailed++
+			}
+			if outcome != shellcode.DownloadFailed {
+				ob.features = pe.ExtractFeatures(stored)
+				if hv, ok := pehash.Hash(stored); ok {
+					ob.peHash = hv
+				}
+			}
+		} else {
+			ob.outcome = shellcode.DownloadFailed
+			res.Stats.DownloadsFailed++
+		}
+		observations = append(observations, ob)
+	}
+
+	// Pass 2: classify every conversation against the final FSM models and
+	// assemble the dataset. Events whose conversation never matured get a
+	// unique placeholder path, which can never become an EPM invariant —
+	// exactly the behaviour of rare activity in the real system.
+	if err := obs.Finalize(); err != nil {
+		return nil, fmt.Errorf("sgnet: finalizing observer: %w", err)
+	}
+	for i, ob := range observations {
+		id := fmt.Sprintf("ev-%06d", i)
+		path, ok, err := obs.Classify(ob.port, ob.clients)
+		if err != nil {
+			return nil, fmt.Errorf("sgnet: classifying event %s: %w", id, err)
+		}
+		if !ok {
+			path = "unmatched:" + id
+			res.Stats.Unclassified++
+		}
+		e := dataset.Event{
+			ID:              id,
+			Time:            ob.hit.at,
+			Attacker:        ob.hit.attacker.String(),
+			Sensor:          ob.hit.sensor.String(),
+			SensorLocation:  deployment.LocationOf(ob.hit.sensor),
+			FSMPath:         path,
+			DestPort:        ob.port,
+			DownloadOutcome: ob.outcome.String(),
+			Sample:          ob.features,
+			PEHash:          ob.peHash,
+			TruthFamily:     ob.hit.family.Name,
+			TruthVariant:    ob.hit.variant.Name,
+		}
+		if ob.actionOK {
+			e.Protocol = ob.action.Protocol
+			e.Filename = ob.action.Filename
+			e.PayloadPort = ob.action.Port
+			e.Interaction = ob.action.Interaction.String()
+		} else {
+			e.Protocol = "unknown"
+			e.Interaction = "unknown"
+		}
+		if err := res.Dataset.AddEvent(e); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// polymorphContext adapts a hit to the engine context.
+func polymorphContext(attacker netmodel.IP, instance uint64) polymorph.Context {
+	return polymorph.Context{Source: attacker, Instance: instance}
+}
+
+// schedule samples the attack arrivals of every variant over its activity
+// windows.
+func schedule(l *malgen.Landscape, deployment *netmodel.Deployment, rng *simrng.Source) []hit {
+	famOf := make(map[string]*malgen.Family, len(l.Families))
+	for _, f := range l.Families {
+		famOf[f.Name] = f
+	}
+	r := rng.Stream("schedule")
+	coverage := float64(len(deployment.Sensors())) / referenceSensors
+	var hits []hit
+	seq := 0
+	for _, v := range l.Variants() {
+		fam := famOf[v.FamilyName]
+		// Targeted variants (bots) scan a fixed subset of deployment
+		// locations; untargeted ones sweep every monitored address.
+		pool := deployment.Sensors()
+		if v.TargetLocations > 0 && v.TargetLocations < len(deployment.Locations()) {
+			pool = nil
+			for _, li := range simrng.SampleWithoutReplacement(r, len(deployment.Locations()), v.TargetLocations) {
+				pool = append(pool, deployment.Locations()[li].Sensors...)
+			}
+		}
+		for _, window := range v.Activity {
+			for _, week := range window.Weeks() {
+				n := simrng.Poisson(r, v.WeeklyRate*coverage)
+				for k := 0; k < n; k++ {
+					at := simtime.WeekStart(week).Add(time.Duration(r.Int63n(int64(simtime.Week))))
+					if !window.Contains(at) || !simtime.InStudy(at) {
+						continue
+					}
+					hits = append(hits, hit{
+						at:       at,
+						variant:  v,
+						family:   fam,
+						attacker: v.Population.RandomHost(r),
+						sensor:   pool[r.Intn(len(pool))],
+						seq:      seq,
+					})
+					seq++
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if !hits[a].at.Equal(hits[b].at) {
+			return hits[a].at.Before(hits[b].at)
+		}
+		return hits[a].seq < hits[b].seq
+	})
+	return hits
+}

@@ -1,0 +1,259 @@
+package sgnet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/malgen"
+	"repro/internal/shellcode"
+	"repro/internal/simrng"
+	"repro/internal/simtime"
+)
+
+func simulate(t *testing.T, seed uint64) (*malgen.Landscape, *Result) {
+	t.Helper()
+	rng := simrng.New(seed)
+	l, err := malgen.Generate(malgen.SmallConfig(), rng.Child("landscape"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(l, DefaultConfig(), rng.Child("sgnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, res
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultConfig()
+	bad.Locations = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero locations must error")
+	}
+	bad = DefaultConfig()
+	bad.Failure = shellcode.FailureModel{TruncateProb: 0.9, FailProb: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("failure probs summing over 1 must error")
+	}
+}
+
+func TestSimulateRejectsEmptyLandscape(t *testing.T) {
+	if _, err := Simulate(nil, DefaultConfig(), simrng.New(1)); err == nil {
+		t.Error("nil landscape must error")
+	}
+	if _, err := Simulate(&malgen.Landscape{}, DefaultConfig(), simrng.New(1)); err == nil {
+		t.Error("empty landscape must error")
+	}
+}
+
+func TestSimulateProducesEvents(t *testing.T) {
+	_, res := simulate(t, 1)
+	ds := res.Dataset
+	if ds.EventCount() < 200 {
+		t.Fatalf("events = %d, want a substantial stream", ds.EventCount())
+	}
+	if res.Stats.Hits != ds.EventCount() {
+		t.Errorf("hits %d != events %d", res.Stats.Hits, ds.EventCount())
+	}
+	if ds.SampleCount() == 0 {
+		t.Fatal("no samples collected")
+	}
+	if got := len(res.Deployment.Sensors()); got != 150 {
+		t.Errorf("sensors = %d", got)
+	}
+}
+
+func TestEventsChronological(t *testing.T) {
+	_, res := simulate(t, 2)
+	events := res.Dataset.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	for _, e := range events {
+		if !simtime.InStudy(e.Time) {
+			t.Fatalf("event %s outside study window: %v", e.ID, e.Time)
+		}
+	}
+}
+
+func TestObservablesDerivedFromPipeline(t *testing.T) {
+	l, res := simulate(t, 3)
+	events := res.Dataset.Events()
+
+	worm := l.Families[0]
+	sawWormPush := false
+	for _, e := range events {
+		if e.TruthFamily != worm.Name {
+			continue
+		}
+		// The pi facts must come from the Nepenthes analyzer, matching the
+		// ground-truth spec.
+		if e.Protocol != "csend" || e.Interaction != "PUSH" || e.PayloadPort != malgen.WormPushPort {
+			t.Fatalf("worm event %s pi facts = %s/%s/%d", e.ID, e.Protocol, e.Interaction, e.PayloadPort)
+		}
+		if e.DestPort != 445 {
+			t.Fatalf("worm event %s dest port = %d", e.ID, e.DestPort)
+		}
+		sawWormPush = true
+	}
+	if !sawWormPush {
+		t.Fatal("no worm events observed")
+	}
+	if res.Stats.ShellcodeErrors != 0 {
+		t.Errorf("shellcode errors = %d", res.Stats.ShellcodeErrors)
+	}
+}
+
+func TestWormSamplesArePolymorphic(t *testing.T) {
+	l, res := simulate(t, 4)
+	worm := l.Families[0]
+	md5s := map[string]int{}
+	okEvents := 0
+	for _, e := range res.Dataset.Events() {
+		if e.TruthFamily != worm.Name || e.DownloadOutcome != "ok" {
+			continue
+		}
+		okEvents++
+		md5s[e.Sample.MD5]++
+	}
+	if okEvents == 0 {
+		t.Fatal("no successful worm downloads")
+	}
+	if len(md5s) != okEvents {
+		t.Errorf("worm MD5s = %d for %d events; per-instance polymorphism must make them unique", len(md5s), okEvents)
+	}
+}
+
+func TestPerSourceSamplesKeyedByAttacker(t *testing.T) {
+	_, res := simulate(t, 5)
+	byAttacker := map[string]map[string]bool{}
+	for _, e := range res.Dataset.Events() {
+		if e.TruthFamily != malgen.PerSourceFamilyName || e.DownloadOutcome != "ok" {
+			continue
+		}
+		if byAttacker[e.Attacker] == nil {
+			byAttacker[e.Attacker] = map[string]bool{}
+		}
+		byAttacker[e.Attacker][e.Sample.MD5] = true
+	}
+	if len(byAttacker) < 3 {
+		t.Skip("too few per-source attackers in small scenario")
+	}
+	allMD5s := map[string]bool{}
+	for attacker, md5s := range byAttacker {
+		if len(md5s) != 1 {
+			t.Errorf("attacker %s shipped %d distinct MD5s, want 1", attacker, len(md5s))
+		}
+		for m := range md5s {
+			allMD5s[m] = true
+		}
+	}
+	if len(allMD5s) < 2 {
+		t.Error("different attackers must ship different MD5s")
+	}
+}
+
+func TestFSMPathsSeparateImplementations(t *testing.T) {
+	l, res := simulate(t, 6)
+	pathsByImpl := map[string]map[string]bool{}
+	for _, e := range res.Dataset.Events() {
+		if strings.HasPrefix(e.FSMPath, "unmatched:") {
+			continue
+		}
+		fam := familyOf(l, e.TruthFamily)
+		if fam == nil {
+			t.Fatalf("unknown truth family %q", e.TruthFamily)
+		}
+		implName := fam.Impl.Name
+		if pathsByImpl[implName] == nil {
+			pathsByImpl[implName] = map[string]bool{}
+		}
+		pathsByImpl[implName][e.FSMPath] = true
+	}
+	// Families sharing an implementation (worm + per-source) must share
+	// FSM paths; distinct implementations must not collide.
+	seen := map[string]string{}
+	for impl, paths := range pathsByImpl {
+		if len(paths) != 1 {
+			t.Errorf("impl %s maps to %d FSM paths, want 1", impl, len(paths))
+			continue
+		}
+		for p := range paths {
+			if other, ok := seen[p]; ok {
+				t.Errorf("implementations %s and %s share FSM path %s", impl, other, p)
+			}
+			seen[p] = impl
+		}
+	}
+	if len(pathsByImpl) < 3 {
+		t.Errorf("only %d implementations classified", len(pathsByImpl))
+	}
+}
+
+func familyOf(l *malgen.Landscape, name string) *malgen.Family {
+	for _, f := range l.Families {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestDownloadFailureInjection(t *testing.T) {
+	_, res := simulate(t, 7)
+	s := res.Stats
+	total := s.DownloadsOK + s.DownloadsTruncated + s.DownloadsFailed
+	if total != s.Hits {
+		t.Fatalf("download outcomes %d != hits %d", total, s.Hits)
+	}
+	truncRate := float64(s.DownloadsTruncated) / float64(total)
+	if truncRate < 0.10 || truncRate > 0.25 {
+		t.Errorf("truncation rate = %.3f, want ~0.17", truncRate)
+	}
+	// Truncated samples must exist and be non-executable.
+	ds := res.Dataset
+	if ds.ExecutableSampleCount() >= ds.SampleCount() {
+		t.Error("some samples must be non-executable")
+	}
+	// In the small scenario non-polymorphic families collapse their OK
+	// downloads into a single MD5 while every truncated download stays
+	// unique, so the executable ratio sits below the paper's 0.81; the
+	// full-scale ratio is validated by the experiments harness.
+	ratio := float64(ds.ExecutableSampleCount()) / float64(ds.SampleCount())
+	if ratio < 0.4 || ratio > 0.95 {
+		t.Errorf("executable ratio = %.2f out of plausible range", ratio)
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	_, a := simulate(t, 42)
+	_, b := simulate(t, 42)
+	if a.Dataset.EventCount() != b.Dataset.EventCount() {
+		t.Fatalf("event counts differ: %d vs %d", a.Dataset.EventCount(), b.Dataset.EventCount())
+	}
+	ea, eb := a.Dataset.Events(), b.Dataset.Events()
+	for i := range ea {
+		if ea[i].ID != eb[i].ID || ea[i].Sample.MD5 != eb[i].Sample.MD5 ||
+			ea[i].FSMPath != eb[i].FSMPath || ea[i].Attacker != eb[i].Attacker {
+			t.Fatalf("event %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestProxyingDecreases(t *testing.T) {
+	// The FSM must take over: proxied conversations must be a small
+	// fraction of total traffic once models mature.
+	_, res := simulate(t, 8)
+	frac := float64(res.Stats.Proxied) / float64(res.Stats.Hits)
+	if frac > 0.5 {
+		t.Errorf("proxied fraction = %.2f; FSM learning is not taking over", frac)
+	}
+	if res.Stats.Proxied == 0 {
+		t.Error("initial conversations must require the oracle")
+	}
+}

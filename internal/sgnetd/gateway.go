@@ -1,0 +1,220 @@
+package sgnetd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/scriptgen"
+)
+
+// GatewayStats counts gateway activity.
+type GatewayStats struct {
+	Connections   int
+	Observes      int
+	Events        int
+	SnapshotsSent int
+	NewEdges      int
+}
+
+// Gateway is the central entity of the deployment: master FSM models,
+// sample-factory oracle, and event collection point.
+type Gateway struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	fsms    *scriptgen.Set
+	version int
+	ds      *dataset.Dataset
+	stats   GatewayStats
+	closed  bool
+	conns   map[net.Conn]bool
+}
+
+// NewGateway creates a gateway. matureAfter <= 0 selects the scriptgen
+// default exemplar threshold.
+func NewGateway(matureAfter int) *Gateway {
+	return &Gateway{
+		fsms:  scriptgen.NewSet(matureAfter),
+		ds:    dataset.New(),
+		conns: make(map[net.Conn]bool),
+	}
+}
+
+// Start listens on addr (use "127.0.0.1:0" for tests) and serves
+// connections until Close. It returns the bound address.
+func (g *Gateway) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sgnetd: gateway listen: %w", err)
+	}
+	g.ln = ln
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		g.stats.Connections++
+		g.conns[conn] = true
+		g.mu.Unlock()
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.handle(conn)
+			g.mu.Lock()
+			delete(g.conns, conn)
+			g.mu.Unlock()
+		}()
+	}
+}
+
+// handle serves one sensor connection.
+func (g *Gateway) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		env, err := readMsg(r)
+		if err != nil {
+			return // connection closed or broken framing: drop the sensor
+		}
+		reply, fatal := g.dispatch(env)
+		if reply != nil {
+			if err := writeMsg(w, reply); err != nil {
+				return
+			}
+		}
+		if fatal {
+			return
+		}
+	}
+}
+
+// dispatch processes one message under the gateway lock and produces the
+// reply.
+func (g *Gateway) dispatch(env *Envelope) (reply *Envelope, fatal bool) {
+	switch env.Type {
+	case MsgHello:
+		if env.Hello == nil || env.Hello.SensorID == "" {
+			return errorEnvelope("hello without sensor id"), true
+		}
+		g.mu.Lock()
+		snap := g.fsms.Snapshot(g.version)
+		g.stats.SnapshotsSent++
+		g.mu.Unlock()
+		return &Envelope{Type: MsgWelcome, Welcome: &Welcome{Version: snap.Version, Snapshot: snap}}, false
+
+	case MsgObserve:
+		if env.Observe == nil {
+			return errorEnvelope("observe without body"), true
+		}
+		g.mu.Lock()
+		res := g.fsms.Learn(env.Observe.Port, env.Observe.Messages)
+		if res.NewEdges > 0 {
+			g.version++
+			g.stats.NewEdges += res.NewEdges
+		}
+		path, ok := g.fsms.Classify(env.Observe.Port, env.Observe.Messages)
+		g.stats.Observes++
+		out := &ObserveReply{Path: path, OK: ok, Version: g.version}
+		if env.Observe.KnownVersion < g.version {
+			snap := g.fsms.Snapshot(g.version)
+			out.Snapshot = &snap
+			g.stats.SnapshotsSent++
+		}
+		g.mu.Unlock()
+		return &Envelope{Type: MsgObserveReply, ObserveReply: out}, false
+
+	case MsgEvent:
+		if env.Event == nil {
+			return errorEnvelope("event without body"), true
+		}
+		g.mu.Lock()
+		err := g.ds.AddEvent(*env.Event)
+		if err == nil {
+			g.stats.Events++
+		}
+		g.mu.Unlock()
+		if err != nil {
+			return errorEnvelope(err.Error()), false
+		}
+		return &Envelope{Type: MsgAck}, false
+
+	default:
+		return errorEnvelope(fmt.Sprintf("unexpected message type %q", env.Type)), true
+	}
+}
+
+func errorEnvelope(msg string) *Envelope {
+	return &Envelope{Type: MsgError, Error: msg}
+}
+
+// Close stops accepting, closes the listener, and waits for in-flight
+// connections to finish their current message.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return errors.New("sgnetd: gateway already closed")
+	}
+	g.closed = true
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	var err error
+	if g.ln != nil {
+		err = g.ln.Close()
+	}
+	// Force-close live sensor connections so Wait cannot block on handlers
+	// parked in a read.
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+// Wait blocks until every connection handler has exited.
+func (g *Gateway) Wait() {
+	g.wg.Wait()
+}
+
+// Dataset returns the centrally collected events. Callers must not use it
+// concurrently with live sensors.
+func (g *Gateway) Dataset() *dataset.Dataset {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ds
+}
+
+// Stats returns a copy of the gateway counters.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Version returns the current FSM knowledge version.
+func (g *Gateway) Version() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.version
+}

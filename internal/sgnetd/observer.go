@@ -1,0 +1,88 @@
+package sgnetd
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// DeploymentObserver adapts a running gateway + sensor deployment to the
+// sgnet.EpsilonObserver interface, so the full dataset simulation can run
+// its ε pipeline through real networked components (Figure 1) instead of
+// the in-process FSM set.
+//
+// Conversations are routed to a sensor chosen by a stable hash of the
+// attacked honeypot address — the same honeypot is always served by the
+// same sensor process, like the real deployment.
+type DeploymentObserver struct {
+	sensors []*Sensor
+}
+
+// NewDeploymentObserver dials n sensor connections against the gateway at
+// addr.
+func NewDeploymentObserver(addr string, n int) (*DeploymentObserver, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sgnetd: observer needs at least one sensor, got %d", n)
+	}
+	o := &DeploymentObserver{sensors: make([]*Sensor, 0, n)}
+	for i := 0; i < n; i++ {
+		s, err := Dial(addr, fmt.Sprintf("sensor-%03d", i))
+		if err != nil {
+			o.Close()
+			return nil, err
+		}
+		o.sensors = append(o.sensors, s)
+	}
+	return o, nil
+}
+
+// sensorFor routes a honeypot address to one sensor process.
+func (o *DeploymentObserver) sensorFor(sensorKey string) *Sensor {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(sensorKey))
+	return o.sensors[int(h.Sum32())%len(o.sensors)]
+}
+
+// Observe implements sgnet.EpsilonObserver.
+func (o *DeploymentObserver) Observe(sensorKey string, port int, msgs [][]byte) (bool, error) {
+	s := o.sensorFor(sensorKey)
+	before := s.Stats().Proxied
+	if _, _, err := s.Handle(port, msgs); err != nil {
+		return false, err
+	}
+	return s.Stats().Proxied > before, nil
+}
+
+// Finalize implements sgnet.EpsilonObserver: the classification sensor
+// pulls the gateway's final FSM snapshot.
+func (o *DeploymentObserver) Finalize() error {
+	return o.sensors[0].Sync()
+}
+
+// Classify implements sgnet.EpsilonObserver using the synced local models
+// of the first sensor; no network round trip per event.
+func (o *DeploymentObserver) Classify(port int, msgs [][]byte) (string, bool, error) {
+	path, ok := o.sensors[0].ClassifyLocal(port, msgs)
+	return path, ok, nil
+}
+
+// Stats aggregates the sensors' counters.
+func (o *DeploymentObserver) Stats() SensorStats {
+	var total SensorStats
+	for _, s := range o.sensors {
+		st := s.Stats()
+		total.Local += st.Local
+		total.Proxied += st.Proxied
+		total.SnapshotsApplied += st.SnapshotsApplied
+		total.EventsReported += st.EventsReported
+	}
+	return total
+}
+
+// Close disconnects every sensor.
+func (o *DeploymentObserver) Close() {
+	for _, s := range o.sensors {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+}

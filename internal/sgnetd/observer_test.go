@@ -1,0 +1,137 @@
+package sgnetd
+
+import (
+	"testing"
+
+	"repro/internal/malgen"
+	"repro/internal/sgnet"
+	"repro/internal/simrng"
+)
+
+// TestDistributedSimulationEquivalence is the flagship integration test:
+// the full dataset simulation with its ε pipeline routed through a real
+// TCP gateway + sensors must produce byte-identical FSM path assignments
+// to the monolithic in-process run. Sensors only proxy unknown activity
+// and matured models are insensitive to extra exemplars, so the gateway's
+// learning sequence converges to exactly the monolithic one.
+func TestDistributedSimulationEquivalence(t *testing.T) {
+	landscapeFor := func() *malgen.Landscape {
+		l, err := malgen.Generate(malgen.SmallConfig(), simrng.New(77).Child("landscape"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	// Monolithic run.
+	mono, err := sgnet.Simulate(landscapeFor(), sgnet.DefaultConfig(), simrng.New(77).Child("sgnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed run: gateway + 5 sensor processes over TCP.
+	g := NewGateway(sgnet.DefaultConfig().MatureAfter)
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = g.Close(); g.Wait() }()
+	obs, err := NewDeploymentObserver(addr.String(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+
+	dist, err := sgnet.SimulateWith(landscapeFor(), sgnet.DefaultConfig(), simrng.New(77).Child("sgnet"), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mono.Dataset.EventCount() != dist.Dataset.EventCount() {
+		t.Fatalf("event counts differ: %d vs %d", mono.Dataset.EventCount(), dist.Dataset.EventCount())
+	}
+	me, de := mono.Dataset.Events(), dist.Dataset.Events()
+	for i := range me {
+		if me[i].FSMPath != de[i].FSMPath {
+			t.Fatalf("event %s: monolithic path %q != distributed path %q",
+				me[i].ID, me[i].FSMPath, de[i].FSMPath)
+		}
+		if me[i].Sample.MD5 != de[i].Sample.MD5 {
+			t.Fatalf("event %s: sample MD5 differs", me[i].ID)
+		}
+	}
+
+	// The distributed run must actually have split the work: most traffic
+	// handled locally by sensors, a learning-phase minority proxied.
+	st := obs.Stats()
+	if st.Proxied == 0 {
+		t.Error("nothing proxied; the gateway oracle was never exercised")
+	}
+	if st.Local == 0 {
+		t.Error("nothing handled locally; FSM sync is not working")
+	}
+	if st.Proxied >= st.Local {
+		t.Errorf("proxied (%d) >= local (%d); sensors are not taking over", st.Proxied, st.Local)
+	}
+	if g.Stats().Observes != st.Proxied {
+		t.Errorf("gateway observes (%d) != sensor proxied (%d)", g.Stats().Observes, st.Proxied)
+	}
+}
+
+func TestNewDeploymentObserverValidation(t *testing.T) {
+	if _, err := NewDeploymentObserver("127.0.0.1:1", 0); err == nil {
+		t.Error("zero sensors must error")
+	}
+	if _, err := NewDeploymentObserver("127.0.0.1:1", 2); err == nil {
+		t.Error("unreachable gateway must error")
+	}
+}
+
+func TestSensorForIsStable(t *testing.T) {
+	g := NewGateway(3)
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = g.Close(); g.Wait() }()
+	obs, err := NewDeploymentObserver(addr.String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	a := obs.sensorFor("192.0.2.77")
+	for i := 0; i < 10; i++ {
+		if obs.sensorFor("192.0.2.77") != a {
+			t.Fatal("sensor routing is not stable")
+		}
+	}
+	// Different honeypots spread over sensors.
+	seen := map[*Sensor]bool{}
+	for i := 0; i < 64; i++ {
+		seen[obs.sensorFor(string(rune('a'+i)))] = true
+	}
+	if len(seen) < 2 {
+		t.Error("routing does not spread honeypots over sensors")
+	}
+}
+
+func TestSensorSync(t *testing.T) {
+	g := NewGateway(3)
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = g.Close(); g.Wait() }()
+	s, err := Dial(addr.String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := s.Stats().SnapshotsApplied
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().SnapshotsApplied != before+1 {
+		t.Error("Sync must apply a fresh snapshot")
+	}
+}

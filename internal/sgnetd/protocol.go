@@ -1,0 +1,132 @@
+// Package sgnetd implements the distributed architecture of the paper's
+// Figure 1 as real networked components: low-cost sensors that handle
+// known activity autonomously with their local FSM models, and a central
+// gateway that owns the master models, plays the sample-factory oracle
+// for unknown activity, refines the FSMs, and distributes the refined
+// knowledge back to the sensors.
+//
+// The wire protocol is length-prefixed JSON over any net.Conn. Sensors
+// are request/response clients: an Observe round trip classifies (and, on
+// the gateway, learns from) one conversation and piggybacks an FSM
+// snapshot whenever the sensor's model version is stale — the FSM-sync
+// path of the figure. Event reports flow to the gateway's dataset, the
+// central collection point of the deployment.
+package sgnetd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/scriptgen"
+)
+
+// MsgType discriminates protocol envelopes.
+type MsgType string
+
+// Protocol message types.
+const (
+	// MsgHello introduces a sensor; the gateway replies with MsgWelcome.
+	MsgHello MsgType = "hello"
+	// MsgWelcome carries the current FSM snapshot to a new sensor.
+	MsgWelcome MsgType = "welcome"
+	// MsgObserve proxies an unknown conversation to the gateway.
+	MsgObserve MsgType = "observe"
+	// MsgObserveReply returns the classification and, when the sensor is
+	// stale, a fresh snapshot.
+	MsgObserveReply MsgType = "observe-reply"
+	// MsgEvent reports one completed attack observation.
+	MsgEvent MsgType = "event"
+	// MsgAck acknowledges an event report.
+	MsgAck MsgType = "ack"
+	// MsgError reports a fatal protocol error.
+	MsgError MsgType = "error"
+)
+
+// Envelope is the single wire message type.
+type Envelope struct {
+	Type         MsgType        `json:"type"`
+	Hello        *Hello         `json:"hello,omitempty"`
+	Welcome      *Welcome       `json:"welcome,omitempty"`
+	Observe      *Observe       `json:"observe,omitempty"`
+	ObserveReply *ObserveReply  `json:"observe_reply,omitempty"`
+	Event        *dataset.Event `json:"event,omitempty"`
+	Error        string         `json:"error,omitempty"`
+}
+
+// Hello introduces a sensor to the gateway.
+type Hello struct {
+	SensorID string `json:"sensor_id"`
+}
+
+// Welcome provisions a new sensor with the current models.
+type Welcome struct {
+	Version  int                   `json:"version"`
+	Snapshot scriptgen.SetSnapshot `json:"snapshot"`
+}
+
+// Observe proxies one conversation for learning + classification.
+type Observe struct {
+	Port int `json:"port"`
+	// Messages are the client-to-server messages of the conversation.
+	Messages [][]byte `json:"messages"`
+	// KnownVersion is the sensor's current snapshot version; the gateway
+	// attaches a fresh snapshot when it is stale.
+	KnownVersion int `json:"known_version"`
+}
+
+// ObserveReply is the gateway's answer to Observe.
+type ObserveReply struct {
+	Path     string                 `json:"path"`
+	OK       bool                   `json:"ok"`
+	Version  int                    `json:"version"`
+	Snapshot *scriptgen.SetSnapshot `json:"snapshot,omitempty"`
+}
+
+// maxMessageSize bounds a single protocol message; FSM snapshots of a
+// full deployment stay well under this.
+const maxMessageSize = 16 << 20
+
+// writeMsg frames and writes one envelope.
+func writeMsg(w *bufio.Writer, env *Envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("sgnetd: marshaling %s: %w", env.Type, err)
+	}
+	if len(raw) > maxMessageSize {
+		return fmt.Errorf("sgnetd: message of %d bytes exceeds limit", len(raw))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(raw); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readMsg reads one framed envelope.
+func readMsg(r *bufio.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMessageSize {
+		return nil, fmt.Errorf("sgnetd: declared message size %d exceeds limit", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("sgnetd: decoding message: %w", err)
+	}
+	return &env, nil
+}

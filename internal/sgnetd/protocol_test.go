@@ -1,0 +1,140 @@
+package sgnetd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := &Envelope{Type: MsgHello, Hello: &Hello{SensorID: "s1"}}
+	if err := writeMsg(w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readMsg(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgHello || out.Hello == nil || out.Hello.SensorID != "s1" {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestReadMsgRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxMessageSize+1)
+	buf.Write(hdr[:])
+	if _, err := readMsg(bufio.NewReader(&buf)); err == nil {
+		t.Error("oversize declaration must be rejected")
+	}
+}
+
+func TestReadMsgRejectsTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if _, err := readMsg(bufio.NewReader(&buf)); err == nil {
+		t.Error("truncated body must be rejected")
+	}
+}
+
+func TestReadMsgRejectsBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := readMsg(bufio.NewReader(&buf)); err == nil {
+		t.Error("malformed JSON must be rejected")
+	}
+}
+
+func TestReadMsgEmptyStream(t *testing.T) {
+	if _, err := readMsg(bufio.NewReader(strings.NewReader(""))); err == nil {
+		t.Error("empty stream must error")
+	}
+}
+
+func TestBinaryMessagesSurviveJSON(t *testing.T) {
+	// Observe messages carry raw protocol bytes, including non-UTF8.
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	raw := [][]byte{{0x00, 0xFF, 0x80, 0x41}, {0xEB, 0xFE}}
+	in := &Envelope{Type: MsgObserve, Observe: &Observe{Port: 445, Messages: raw}}
+	if err := writeMsg(w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readMsg(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Observe.Messages) != 2 {
+		t.Fatalf("messages = %d", len(out.Observe.Messages))
+	}
+	for i := range raw {
+		if !bytes.Equal(out.Observe.Messages[i], raw[i]) {
+			t.Errorf("message %d corrupted: %x vs %x", i, out.Observe.Messages[i], raw[i])
+		}
+	}
+}
+
+func TestSensorRejectsNonWelcome(t *testing.T) {
+	// A fake gateway that answers hello with an error envelope.
+	g := NewGateway(3)
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = g.Close(); g.Wait() }()
+
+	// Speaking the wrong first message makes the gateway answer MsgError,
+	// which Dial must surface.
+	conn, err := netDial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn.w, &Envelope{Type: MsgObserve}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := readMsg(conn.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe without a prior hello is served (the gateway is stateless per
+	// message) but an empty body is an error.
+	if env.Type != MsgError {
+		t.Errorf("expected error for empty observe, got %q", env.Type)
+	}
+}
+
+func TestHandleAfterGatewayGone(t *testing.T) {
+	g := NewGateway(3)
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Dial(addr.String(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_ = g.Close()
+	g.Wait()
+
+	// A proxied conversation must fail cleanly once the gateway is gone.
+	if _, _, err := s.Handle(445, [][]byte{{1, 2, 3}}); err == nil {
+		t.Error("Handle must fail when the gateway is unreachable")
+	}
+	if err := s.Report(testEventForReport()); err == nil {
+		t.Error("Report must fail when the gateway is unreachable")
+	}
+}

@@ -1,0 +1,38 @@
+package sgnetd
+
+import (
+	"bufio"
+	"net"
+
+	"repro/internal/dataset"
+	"repro/internal/simtime"
+)
+
+// rawConn is a minimal framed client for protocol-level tests.
+type rawConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func netDial(addr string) (*rawConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &rawConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+func (rc *rawConn) Close() error { return rc.c.Close() }
+
+// testEventForReport builds a minimal valid event for failure-path tests.
+func testEventForReport() dataset.Event {
+	return dataset.Event{
+		ID:              "ev-x",
+		Time:            simtime.WeekStart(1),
+		Attacker:        "1.2.3.4",
+		Sensor:          "5.6.7.8",
+		DestPort:        445,
+		DownloadOutcome: "failed",
+	}
+}

@@ -1,0 +1,45 @@
+package shellcode
+
+import (
+	"testing"
+
+	"repro/internal/simrng"
+)
+
+// FuzzAnalyze drives the shellcode analyzer with mutated payloads: it
+// must never panic, and accepted payloads must decode to well-formed
+// actions.
+func FuzzAnalyze(f *testing.F) {
+	r := simrng.New(1).Stream("fuzz")
+	valid, err := Encode(Spec{
+		Protocol:    "ftp",
+		Interaction: Pull,
+		Port:        21,
+		Filename:    "ftpupd.exe",
+	}, 0x0a000001, r)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("NPSC"))
+	f.Add([]byte("NPSC\x01\xff\xff"))
+	f.Add(append([]byte{0x90, 0x90}, valid...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		a, err := Analyze(payload)
+		if err != nil {
+			return
+		}
+		if !knownProtocols[a.Protocol] {
+			t.Fatalf("accepted unknown protocol %q", a.Protocol)
+		}
+		if a.Interaction < Push || a.Interaction > Central {
+			t.Fatalf("accepted invalid interaction %d", a.Interaction)
+		}
+		if a.Port < 0 || a.Port > 65535 {
+			t.Fatalf("accepted invalid port %d", a.Port)
+		}
+	})
+}

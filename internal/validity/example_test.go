@@ -1,0 +1,27 @@
+package validity_test
+
+import (
+	"fmt"
+
+	"repro/internal/validity"
+)
+
+// Example scores an over-split clustering: pure clusters (precision 1)
+// that fragment one true family (recall 0.5).
+func Example() {
+	clusters := [][]string{
+		{"s1", "s2"},
+		{"s3", "s4"},
+	}
+	truth := map[string]string{
+		"s1": "allaple", "s2": "allaple", "s3": "allaple", "s4": "allaple",
+	}
+	rep, err := validity.Compare(clusters, truth)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("precision=%.2f recall=%.2f F=%.2f\n", rep.Precision, rep.Recall, rep.F)
+
+	// Output:
+	// precision=1.00 recall=0.50 F=0.67
+}

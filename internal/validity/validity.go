@@ -1,0 +1,163 @@
+// Package validity quantifies clustering quality against ground truth.
+//
+// The paper could only argue cluster correctness qualitatively (AV
+// labels, manual inspection): the true family structure of its corpus was
+// unknown. The reproduction's corpus is synthetic, so the true
+// variant/behaviour of every sample is known, and each clustering
+// (EPM M-clusters, behavioral B-clusters, the peHash baseline) can be
+// scored exactly.
+//
+// Metrics follow Bayer et al. (NDSS'09): precision (clusters do not mix
+// references), recall (references are not fragmented), their harmonic
+// mean, plus the Adjusted Rand Index as a chance-corrected summary.
+package validity
+
+import (
+	"fmt"
+)
+
+// Report scores one clustering against a reference partition.
+type Report struct {
+	// Items is the number of scored items (present in both partitions).
+	Items int
+	// Clusters and References are the partition sizes.
+	Clusters   int
+	References int
+	// Precision is the average fraction of a cluster covered by its
+	// best-matching reference class.
+	Precision float64
+	// Recall is the average fraction of a reference class covered by its
+	// best-matching cluster.
+	Recall float64
+	// F is the harmonic mean of Precision and Recall.
+	F float64
+	// AdjustedRand is the chance-corrected Rand index in [-1, 1].
+	AdjustedRand float64
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("items=%d clusters=%d refs=%d precision=%.3f recall=%.3f F=%.3f ARI=%.3f",
+		r.Items, r.Clusters, r.References, r.Precision, r.Recall, r.F, r.AdjustedRand)
+}
+
+// Compare scores clusters (lists of item IDs) against truth (item ID →
+// reference label). Items without a truth label are an error: the caller
+// chooses what to score.
+func Compare(clusters [][]string, truth map[string]string) (Report, error) {
+	if len(truth) == 0 {
+		return Report{}, fmt.Errorf("validity: empty truth")
+	}
+	seen := make(map[string]bool)
+	// Contingency counts: cluster index × reference label.
+	contingency := make([]map[string]int, len(clusters))
+	refTotals := make(map[string]int)
+	n := 0
+	for ci, members := range clusters {
+		contingency[ci] = make(map[string]int)
+		for _, id := range members {
+			label, ok := truth[id]
+			if !ok {
+				return Report{}, fmt.Errorf("validity: item %q has no truth label", id)
+			}
+			if seen[id] {
+				return Report{}, fmt.Errorf("validity: item %q appears in multiple clusters", id)
+			}
+			seen[id] = true
+			contingency[ci][label]++
+			refTotals[label]++
+			n++
+		}
+	}
+	if n == 0 {
+		return Report{}, fmt.Errorf("validity: no items to score")
+	}
+
+	rep := Report{Items: n, Clusters: 0, References: len(refTotals)}
+
+	// Precision: per cluster, the dominant reference share.
+	var precSum float64
+	for _, counts := range contingency {
+		if len(counts) == 0 {
+			continue
+		}
+		rep.Clusters++
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		precSum += float64(best)
+	}
+	rep.Precision = precSum / float64(n)
+
+	// Recall: per reference class, the dominant cluster share.
+	bestPerRef := make(map[string]int, len(refTotals))
+	for _, counts := range contingency {
+		for label, c := range counts {
+			if c > bestPerRef[label] {
+				bestPerRef[label] = c
+			}
+		}
+	}
+	var recSum float64
+	for _, c := range bestPerRef {
+		recSum += float64(c)
+	}
+	rep.Recall = recSum / float64(n)
+
+	if rep.Precision+rep.Recall > 0 {
+		rep.F = 2 * rep.Precision * rep.Recall / (rep.Precision + rep.Recall)
+	}
+
+	rep.AdjustedRand = adjustedRand(contingency, refTotals, n)
+	return rep, nil
+}
+
+// comb2 computes n choose 2.
+func comb2(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}
+
+// adjustedRand computes the ARI from the contingency table.
+func adjustedRand(contingency []map[string]int, refTotals map[string]int, n int) float64 {
+	var sumCells, sumRows, sumCols float64
+	for _, counts := range contingency {
+		rowTotal := 0
+		for _, c := range counts {
+			sumCells += comb2(c)
+			rowTotal += c
+		}
+		sumRows += comb2(rowTotal)
+	}
+	for _, c := range refTotals {
+		sumCols += comb2(c)
+	}
+	total := comb2(n)
+	if total == 0 {
+		return 1
+	}
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Degenerate partitions (e.g. everything in one cluster on both
+		// sides): the Rand agreement is exact.
+		return 1
+	}
+	return (sumCells - expected) / (maxIndex - expected)
+}
+
+// GroupByLabel inverts an item→label map into clusters, a convenience for
+// scoring one labeling against another.
+func GroupByLabel(labels map[string]string) [][]string {
+	groups := make(map[string][]string)
+	for id, label := range labels {
+		groups[label] = append(groups[label], id)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		out = append(out, members)
+	}
+	return out
+}

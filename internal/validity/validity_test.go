@@ -1,0 +1,168 @@
+package validity
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestComparePerfect(t *testing.T) {
+	clusters := [][]string{{"a1", "a2"}, {"b1", "b2", "b3"}}
+	truth := map[string]string{"a1": "A", "a2": "A", "b1": "B", "b2": "B", "b3": "B"}
+	rep, err := Compare(clusters, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Precision, 1) || !approx(rep.Recall, 1) || !approx(rep.F, 1) {
+		t.Errorf("perfect clustering scored %+v", rep)
+	}
+	if !approx(rep.AdjustedRand, 1) {
+		t.Errorf("ARI = %v, want 1", rep.AdjustedRand)
+	}
+	if rep.Items != 5 || rep.Clusters != 2 || rep.References != 2 {
+		t.Errorf("counts: %+v", rep)
+	}
+}
+
+func TestCompareOverSplit(t *testing.T) {
+	// Every item its own cluster: perfect precision, poor recall.
+	clusters := [][]string{{"a1"}, {"a2"}, {"a3"}, {"a4"}}
+	truth := map[string]string{"a1": "A", "a2": "A", "a3": "A", "a4": "A"}
+	rep, err := Compare(clusters, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Precision, 1) {
+		t.Errorf("precision = %v, want 1", rep.Precision)
+	}
+	if !approx(rep.Recall, 0.25) {
+		t.Errorf("recall = %v, want 0.25", rep.Recall)
+	}
+}
+
+func TestCompareOverMerged(t *testing.T) {
+	// Everything in one cluster: perfect recall, precision = largest class
+	// share.
+	clusters := [][]string{{"a1", "a2", "a3", "b1"}}
+	truth := map[string]string{"a1": "A", "a2": "A", "a3": "A", "b1": "B"}
+	rep, err := Compare(clusters, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Recall, 1) {
+		t.Errorf("recall = %v, want 1", rep.Recall)
+	}
+	if !approx(rep.Precision, 0.75) {
+		t.Errorf("precision = %v, want 0.75", rep.Precision)
+	}
+	if rep.AdjustedRand > 0.5 {
+		t.Errorf("ARI = %v for a fully merged clustering", rep.AdjustedRand)
+	}
+}
+
+func TestCompareKnownARI(t *testing.T) {
+	// Hand-computed example:
+	// clusters: {a1,a2,b1}, {b2,b3,a3}
+	// truth: A={a1,a2,a3}, B={b1,b2,b3}
+	clusters := [][]string{{"a1", "a2", "b1"}, {"b2", "b3", "a3"}}
+	truth := map[string]string{
+		"a1": "A", "a2": "A", "a3": "A",
+		"b1": "B", "b2": "B", "b3": "B",
+	}
+	rep, err := Compare(clusters, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sumCells = C(2,2)+C(1,2)+C(2,2)+C(1,2) = 1+0+1+0 = 2
+	// sumRows = 2*C(3,2) = 6; sumCols = 6; total = C(6,2) = 15
+	// expected = 36/15 = 2.4; max = 6; ARI = (2-2.4)/(6-2.4) = -1/9
+	want := -1.0 / 9.0
+	if !approx(rep.AdjustedRand, want) {
+		t.Errorf("ARI = %v, want %v", rep.AdjustedRand, want)
+	}
+	if !approx(rep.Precision, 4.0/6.0) || !approx(rep.Recall, 4.0/6.0) {
+		t.Errorf("P/R = %v/%v, want 2/3", rep.Precision, rep.Recall)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(nil, nil); err == nil {
+		t.Error("empty truth must error")
+	}
+	truth := map[string]string{"a": "A"}
+	if _, err := Compare([][]string{{"b"}}, truth); err == nil {
+		t.Error("unlabeled item must error")
+	}
+	if _, err := Compare([][]string{{"a"}, {"a"}}, truth); err == nil {
+		t.Error("item in two clusters must error")
+	}
+	if _, err := Compare([][]string{}, truth); err == nil {
+		t.Error("no items must error")
+	}
+}
+
+func TestCompareIgnoresEmptyClusters(t *testing.T) {
+	clusters := [][]string{{"a1"}, {}, {"a2"}}
+	truth := map[string]string{"a1": "A", "a2": "A"}
+	rep, err := Compare(clusters, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clusters != 2 {
+		t.Errorf("clusters = %d, want 2 (empty skipped)", rep.Clusters)
+	}
+}
+
+func TestGroupByLabelRoundTrip(t *testing.T) {
+	labels := map[string]string{"x": "1", "y": "1", "z": "2"}
+	groups := GroupByLabel(labels)
+	rep, err := Compare(groups, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.F, 1) || !approx(rep.AdjustedRand, 1) {
+		t.Errorf("self-comparison must be perfect: %+v", rep)
+	}
+}
+
+func TestMetricsBoundedProperty(t *testing.T) {
+	f := func(assign []uint8) bool {
+		if len(assign) < 2 {
+			return true
+		}
+		truth := make(map[string]string, len(assign))
+		clusterOf := make(map[int][]string)
+		for i, v := range assign {
+			id := fmt.Sprintf("s%d", i)
+			truth[id] = fmt.Sprintf("ref%d", v%4)
+			c := int(v>>4) % 5
+			clusterOf[c] = append(clusterOf[c], id)
+		}
+		clusters := make([][]string, 0, len(clusterOf))
+		for _, m := range clusterOf {
+			clusters = append(clusters, m)
+		}
+		rep, err := Compare(clusters, truth)
+		if err != nil {
+			return false
+		}
+		return rep.Precision >= 0 && rep.Precision <= 1 &&
+			rep.Recall >= 0 && rep.Recall <= 1 &&
+			rep.F >= 0 && rep.F <= 1 &&
+			rep.AdjustedRand >= -1 && rep.AdjustedRand <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Items: 5, Clusters: 2, References: 2, Precision: 1, Recall: 0.5, F: 2.0 / 3, AdjustedRand: 0.3}
+	s := rep.String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("String = %q", s)
+	}
+}
