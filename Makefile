@@ -1,0 +1,20 @@
+# Mirrors .github/workflows/ci.yml for local runs.
+
+.PHONY: check vet test race bench
+
+check: vet test race
+
+vet:
+	go vet ./...
+
+test:
+	go build ./... && go test ./...
+
+# The pipeline is concurrent; run the race detector before every change.
+# -short keeps paper-scale scenarios and benchmarks out of the
+# instrumented run.
+race:
+	go test -race -short ./...
+
+bench:
+	go test -bench . -benchtime 1x ./...

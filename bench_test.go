@@ -47,6 +47,7 @@ func pipeline(b *testing.B) *core.Results {
 // BenchmarkBigPicture regenerates the §4.1 headline counts: the complete
 // pipeline from landscape generation to all four clusterings.
 func BenchmarkBigPicture(b *testing.B) {
+	skipPaperScale(b)
 	b.ReportAllocs()
 	var res *core.Results
 	for i := 0; i < b.N; i++ {
@@ -64,6 +65,45 @@ func BenchmarkBigPicture(b *testing.B) {
 	b.ReportMetric(float64(p), "P-clusters")
 	b.ReportMetric(float64(m), "M-clusters")
 	b.ReportMetric(float64(bc), "B-clusters")
+}
+
+// skipPaperScale keeps the heavy pipeline benchmarks out of short mode,
+// where the race-detector CI step (go test -race -short -bench .) would
+// otherwise multiply their cost by the instrumentation overhead.
+func skipPaperScale(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("paper-scale benchmark; skipped under -short (race CI)")
+	}
+}
+
+// BenchmarkPipelineParallelism measures the end-to-end pipeline at
+// pinned worker counts. Every level reports the same headline counts
+// (the run is deterministic under the seed); only the wall clock moves.
+func BenchmarkPipelineParallelism(b *testing.B) {
+	skipPaperScale(b)
+	for _, par := range []int{1, 2, 4, 0} {
+		par := par
+		name := fmt.Sprintf("parallelism-%d", par)
+		if par == 0 {
+			name = "parallelism-max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *core.Results
+			for i := 0; i < b.N; i++ {
+				s := core.SmallScenario()
+				s.Parallelism = par
+				var err error
+				res, err = core.Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, _, _, e, p, m, bc := res.Counts()
+			b.ReportMetric(float64(e+p+m+bc), "clusters")
+		})
+	}
 }
 
 // BenchmarkTable1Invariants regenerates Table 1: invariant discovery and
@@ -190,6 +230,7 @@ func benchProfiles(n int) []bcluster.Input {
 // design (Bayer et al. NDSS'09): LSH candidate pruning vs the naive
 // O(n²) comparison, at increasing corpus sizes.
 func BenchmarkLSHvsExact(b *testing.B) {
+	skipPaperScale(b)
 	cfg := bcluster.DefaultConfig()
 	for _, n := range []int{250, 1000, 4000} {
 		inputs := benchProfiles(n)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-small] [-run all|counts|table1|figure3|figure4|mcluster13|figure5|table2|validity|avlabels|temporal|population|coverage|distributed]
+//	experiments [-seed N] [-small] [-parallelism N] [-run all|counts|diag|table1|figure3|figure4|mcluster13|figure5|table2|validity|avlabels|temporal|population|coverage|distributed]
 package main
 
 import (
@@ -26,24 +26,45 @@ import (
 	"repro/internal/validity"
 )
 
+// selectors are the valid -run values, in presentation order.
+var selectors = []string{
+	"all", "counts", "diag", "table1", "figure3", "figure4", "mcluster13",
+	"figure5", "table2", "validity", "avlabels", "temporal", "population",
+	"coverage", "distributed",
+}
+
+func validSelector(sel string) bool {
+	for _, s := range selectors {
+		if s == sel {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	seed := flag.Uint64("seed", 2010, "scenario seed")
 	small := flag.Bool("small", false, "use the reduced scenario (fast, not paper-scale)")
-	runSel := flag.String("run", "all", "experiment to run: all|counts|table1|figure3|figure4|mcluster13|figure5|table2|validity|avlabels|temporal|population|coverage|distributed")
+	parallelism := flag.Int("parallelism", 0, "worker bound for every pipeline stage (0 = GOMAXPROCS)")
+	runSel := flag.String("run", "all", "experiment to run: "+strings.Join(selectors, "|"))
 	flag.Parse()
 
-	if err := run(*seed, *small, *runSel); err != nil {
+	if err := run(*seed, *small, *runSel, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, small bool, sel string) error {
+func run(seed uint64, small bool, sel string, parallelism int) error {
+	if !validSelector(sel) {
+		return fmt.Errorf("unknown -run selector %q; valid selectors: %s", sel, strings.Join(selectors, "|"))
+	}
 	scenario := core.DefaultScenario()
 	if small {
 		scenario = core.SmallScenario()
 	}
 	scenario.Seed = seed
+	scenario.Parallelism = parallelism
 
 	fmt.Printf("# Experiments (seed=%d, scenario=%s)\n\n", seed, scenarioName(small))
 	res, err := core.Run(scenario)

@@ -32,7 +32,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 }
 
 func TestRunAllSmall(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run(3, true, "all") })
+	out, err := captureStdout(t, func() error { return run(3, true, "all", 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestRunSingleSelectors(t *testing.T) {
 	for _, sel := range []string{"counts", "table1", "diag"} {
 		sel := sel
 		t.Run(sel, func(t *testing.T) {
-			out, err := captureStdout(t, func() error { return run(3, true, sel) })
+			out, err := captureStdout(t, func() error { return run(3, true, sel, 0) })
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,12 +68,34 @@ func TestRunSingleSelectors(t *testing.T) {
 	}
 }
 
-func TestRunUnknownSelectorRunsNothing(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run(3, true, "nonexistent") })
-	if err != nil {
-		t.Fatal(err)
+func TestRunUnknownSelectorFails(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run(3, true, "nonexistent", 0) })
+	if err == nil {
+		t.Fatal("unknown selector must fail instead of silently printing nothing")
+	}
+	for _, want := range []string{"nonexistent", "table1", "distributed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 	if strings.Contains(out, "Table 1") {
 		t.Error("unknown selector must not run experiments")
+	}
+}
+
+func TestSelectorListCoversDispatch(t *testing.T) {
+	// Every selector the dispatcher handles must be announced in the
+	// validated list (and the usage text built from it).
+	for _, sel := range []string{
+		"counts", "diag", "table1", "figure3", "figure4", "mcluster13",
+		"figure5", "table2", "validity", "avlabels", "temporal",
+		"population", "coverage", "distributed", "all",
+	} {
+		if !validSelector(sel) {
+			t.Errorf("selector %q not in the valid list", sel)
+		}
+	}
+	if validSelector("bogus") {
+		t.Error("bogus selector accepted")
 	}
 }

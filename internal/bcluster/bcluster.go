@@ -36,8 +36,8 @@ type Config struct {
 	// Seed decorrelates the hash family.
 	Seed uint64
 	// Workers bounds the goroutines computing MinHash signatures; 0
-	// selects GOMAXPROCS. The partition is independent of the worker
-	// count.
+	// defers to core.Scenario.Parallelism (and ultimately GOMAXPROCS).
+	// The partition is independent of the worker count.
 	Workers int
 }
 

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/bcluster"
@@ -33,6 +34,12 @@ type Scenario struct {
 	Enrichment enrich.Config
 	// Thresholds configure EPM invariant discovery.
 	Thresholds epm.Thresholds
+	// Parallelism bounds the worker pools of every pipeline stage (EPM
+	// invariant discovery and grouping, sandbox enrichment, MinHash
+	// signatures); 0 selects GOMAXPROCS. Stage-level worker settings
+	// (Enrichment.Workers, Enrichment.BCluster.Workers), when nonzero,
+	// take precedence. Results are byte-identical at every level.
+	Parallelism int
 }
 
 // DefaultScenario is the paper-scale configuration used by the
@@ -72,9 +79,21 @@ type Results struct {
 	CrossMap *analysis.CrossMap
 }
 
-// Run executes the full pipeline.
+// Run executes the full pipeline. The three EPM clusterings are the
+// paper's independent observation perspectives — they share no state, so
+// they run concurrently; Scenario.Parallelism additionally bounds the
+// worker pools inside every stage. The output is deterministic under the
+// scenario seed at any parallelism level.
 func Run(s Scenario) (*Results, error) {
 	rng := simrng.New(s.Seed)
+
+	enrichCfg := s.Enrichment
+	if enrichCfg.Workers == 0 {
+		enrichCfg.Workers = s.Parallelism
+	}
+	if enrichCfg.BCluster.Workers == 0 {
+		enrichCfg.BCluster.Workers = s.Parallelism
+	}
 
 	landscape, err := malgen.Generate(s.Landscape, rng.Child("landscape"))
 	if err != nil {
@@ -84,7 +103,7 @@ func Run(s Scenario) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: simulating deployment: %w", err)
 	}
-	pipe, err := enrich.New(landscape, s.Enrichment, rng.Child("enrich"))
+	pipe, err := enrich.New(landscape, enrichCfg, rng.Child("enrich"))
 	if err != nil {
 		return nil, fmt.Errorf("core: building enrichment: %w", err)
 	}
@@ -102,14 +121,30 @@ func Run(s Scenario) (*Results, error) {
 		Enrichment: enriched,
 		B:          enriched.BClusters,
 	}
-	if res.E, err = epm.Run(dataset.EpsilonSchema, sim.Dataset.EpsilonInstances(), s.Thresholds); err != nil {
-		return nil, fmt.Errorf("core: epsilon clustering: %w", err)
+	var wg sync.WaitGroup
+	var errE, errP, errM error
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		res.E, errE = epm.RunParallel(dataset.EpsilonSchema, sim.Dataset.EpsilonInstances(), s.Thresholds, s.Parallelism)
+	}()
+	go func() {
+		defer wg.Done()
+		res.P, errP = epm.RunParallel(dataset.PiSchema, sim.Dataset.PiInstances(), s.Thresholds, s.Parallelism)
+	}()
+	go func() {
+		defer wg.Done()
+		res.M, errM = epm.RunParallel(dataset.MuSchema, sim.Dataset.MuInstances(), s.Thresholds, s.Parallelism)
+	}()
+	wg.Wait()
+	if errE != nil {
+		return nil, fmt.Errorf("core: epsilon clustering: %w", errE)
 	}
-	if res.P, err = epm.Run(dataset.PiSchema, sim.Dataset.PiInstances(), s.Thresholds); err != nil {
-		return nil, fmt.Errorf("core: pi clustering: %w", err)
+	if errP != nil {
+		return nil, fmt.Errorf("core: pi clustering: %w", errP)
 	}
-	if res.M, err = epm.Run(dataset.MuSchema, sim.Dataset.MuInstances(), s.Thresholds); err != nil {
-		return nil, fmt.Errorf("core: mu clustering: %w", err)
+	if errM != nil {
+		return nil, fmt.Errorf("core: mu clustering: %w", errM)
 	}
 	if res.CrossMap, err = analysis.BuildCrossMap(sim.Dataset, res.M, res.B); err != nil {
 		return nil, fmt.Errorf("core: cross map: %w", err)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bcluster"
+	"repro/internal/epm"
+)
+
+// digest renders every parallelism-sensitive artifact of a run — cluster
+// IDs, patterns, member lists, context counts, and the headline counts —
+// into one comparable string.
+func digest(r *Results) string {
+	var b strings.Builder
+	events, samples, executable, e, p, m, bc := r.Counts()
+	fmt.Fprintf(&b, "counts %d %d %d %d %d %d %d\n", events, samples, executable, e, p, m, bc)
+	epmDim := func(c *epm.Clustering) {
+		for _, st := range c.Stats {
+			fmt.Fprintf(&b, "stat %s %s %d %d\n", c.Schema.Dimension, st.Feature, st.Invariants, st.DistinctValues)
+		}
+		for _, cl := range c.Clusters {
+			fmt.Fprintf(&b, "cluster %s %d %s %d %d %s\n",
+				c.Schema.Dimension, cl.ID, cl.Pattern.Key(), cl.Attackers, cl.Sensors,
+				strings.Join(cl.InstanceIDs, ","))
+		}
+	}
+	epmDim(r.E)
+	epmDim(r.P)
+	epmDim(r.M)
+	bDim := func(res *bcluster.Result) {
+		for _, cl := range res.Clusters {
+			fmt.Fprintf(&b, "bcluster %d %s\n", cl.ID, strings.Join(cl.Members, ","))
+		}
+	}
+	bDim(r.B)
+	return b.String()
+}
+
+// TestRunParallelismDeterminism asserts that the pipeline output is
+// byte-identical whether every worker pool is pinned to one goroutine or
+// fanned out over eight.
+func TestRunParallelismDeterminism(t *testing.T) {
+	scenarios := map[string]Scenario{"small": SmallScenario()}
+	if !testing.Short() {
+		// A mid-size landscape between SmallScenario and the paper-scale
+		// default, big enough for multi-shard Phase-3 grouping.
+		mid := SmallScenario()
+		mid.Landscape.WormVariants = 45
+		mid.Landscape.BotFamilies = 6
+		mid.Landscape.DropperFamilies = 9
+		mid.Landscape.RareFamilies = 14
+		scenarios["mid"] = mid
+	}
+	for name, s := range scenarios {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			seq := s
+			seq.Parallelism = 1
+			par := s
+			par.Parallelism = 8
+
+			a, err := Run(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			da, db := digest(a), digest(b)
+			if da != db {
+				line := firstDiffLine(da, db)
+				t.Fatalf("results differ between Parallelism 1 and 8; first differing line:\n%s", line)
+			}
+		})
+	}
+}
+
+func firstDiffLine(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("seq: %s\npar: %s", la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(la), len(lb))
+}

@@ -38,9 +38,10 @@ type Config struct {
 	AVGenericProb    float64
 	AVUndetectedProb float64
 	// Workers bounds the sandbox executions running concurrently; 0
-	// selects GOMAXPROCS. Results are identical regardless of the worker
-	// count: every execution derives its randomness from the sample hash,
-	// not from scheduling order.
+	// defers to core.Scenario.Parallelism (and ultimately GOMAXPROCS).
+	// Results are identical regardless of the worker count: every
+	// execution derives its randomness from the sample hash, not from
+	// scheduling order.
 	Workers int
 }
 

@@ -27,8 +27,10 @@ package epm
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Wildcard is the "do not care" value in patterns.
@@ -217,7 +219,33 @@ func (c *Clustering) IsInvariant(feature, value string) bool {
 // Classify returns the most specific pattern of the clustering matching
 // the given values and its cluster index. Ties on specificity are broken
 // by pattern key for determinism. ok=false means no pattern matches.
+// Wildcard is reserved for patterns: values containing "*" never classify.
+//
+// The common case is O(features): generalizing the values (keep invariant
+// values, wildcard the rest) yields the most specific pattern that could
+// match them — every discovered pattern carries only invariant values at
+// its non-wildcard positions, so any pattern matching the values is a
+// pointwise generalization of the generalized tuple. A byPattern hit is
+// therefore the unique most-specific match; only a miss falls back to the
+// linear scan over less specific patterns.
 func (c *Clustering) Classify(values []string) (Pattern, int, bool) {
+	if len(values) != len(c.Schema.Features) {
+		return Pattern{}, -1, false
+	}
+	for _, v := range values {
+		if v == Wildcard {
+			return Pattern{}, -1, false
+		}
+	}
+	if i, ok := c.byPattern[c.generalizedKey(values)]; ok {
+		return c.Clusters[i].Pattern, i, true
+	}
+	return c.classifyScan(values)
+}
+
+// classifyScan is the exhaustive most-specific-match over all clusters,
+// the reference the fast path falls back to (and is tested against).
+func (c *Clustering) classifyScan(values []string) (Pattern, int, bool) {
 	best := -1
 	for i, cl := range c.Clusters {
 		if !cl.Pattern.Matches(values) {
@@ -238,14 +266,61 @@ func (c *Clustering) Classify(values []string) (Pattern, int, bool) {
 	return c.Clusters[best].Pattern, best, true
 }
 
+// generalize keeps the invariant values and wildcards the rest.
+func (c *Clustering) generalize(values []string) Pattern {
+	vals := make([]string, len(values))
+	for fi, v := range values {
+		if c.invariants[fi][v] {
+			vals[fi] = v
+		} else {
+			vals[fi] = Wildcard
+		}
+	}
+	return Pattern{Values: vals}
+}
+
+// generalizedKey is generalize(values).Key() in a single allocation, for
+// the classification hot path.
+func (c *Clustering) generalizedKey(values []string) string {
+	n := len(values)
+	for _, v := range values {
+		n += len(v)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for fi, v := range values {
+		if fi > 0 {
+			b.WriteByte('\x1f')
+		}
+		if c.invariants[fi][v] {
+			b.WriteString(v)
+		} else {
+			b.WriteString(Wildcard)
+		}
+	}
+	return b.String()
+}
+
 // Run executes invariant discovery, pattern discovery, and classification
-// over the instances.
+// over the instances, using one worker per available CPU. Use RunParallel
+// to pin the worker count; the result is identical at any level.
 func Run(schema Schema, instances []Instance, th Thresholds) (*Clustering, error) {
+	return RunParallel(schema, instances, th, 0)
+}
+
+// RunParallel is Run with an explicit bound on worker goroutines; workers
+// <= 0 selects GOMAXPROCS. The clustering is byte-identical regardless of
+// the worker count: Phase-2 results are index-addressed per feature, and
+// Phase-3 shard merging feeds a total ordering (size, then pattern key).
+func RunParallel(schema Schema, instances []Instance, th Thresholds, workers int) (*Clustering, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
 	if err := th.Validate(); err != nil {
 		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	seenID := make(map[string]bool, len(instances))
 	for _, in := range instances {
@@ -256,6 +331,12 @@ func Run(schema Schema, instances []Instance, th Thresholds) (*Clustering, error
 			return nil, fmt.Errorf("epm: duplicate instance ID %q", in.ID)
 		}
 		seenID[in.ID] = true
+		if in.Attacker == "" {
+			return nil, fmt.Errorf("epm: instance %q has an empty attacker", in.ID)
+		}
+		if in.Sensor == "" {
+			return nil, fmt.Errorf("epm: instance %q has an empty sensor", in.ID)
+		}
 		if len(in.Values) != len(schema.Features) {
 			return nil, fmt.Errorf("epm: instance %q has %d values for %d features",
 				in.ID, len(in.Values), len(schema.Features))
@@ -276,73 +357,75 @@ func Run(schema Schema, instances []Instance, th Thresholds) (*Clustering, error
 		byPattern:  make(map[string]int),
 	}
 
-	// Phase 2: invariant discovery.
-	type valueStat struct {
-		instances int
-		attackers map[string]bool
-		sensors   map[string]bool
+	// Phase 2: invariant discovery. Each feature's value statistics are
+	// independent, so features fan out across the pool; invariants[fi] and
+	// Stats[fi] are index-addressed, so there are no ordering races.
+	var wg sync.WaitGroup
+	feats := make(chan int)
+	for w := 0; w < min(workers, len(schema.Features)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range feats {
+				c.discoverFeature(fi, instances, th)
+			}
+		}()
 	}
 	for fi := range schema.Features {
-		stats := make(map[string]*valueStat)
-		for _, in := range instances {
-			v := in.Values[fi]
-			vs, ok := stats[v]
-			if !ok {
-				vs = &valueStat{attackers: make(map[string]bool), sensors: make(map[string]bool)}
-				stats[v] = vs
-			}
-			vs.instances++
-			vs.attackers[in.Attacker] = true
-			vs.sensors[in.Sensor] = true
-		}
-		inv := make(map[string]bool)
-		for v, vs := range stats {
-			if vs.instances >= th.MinInstances &&
-				len(vs.attackers) >= th.MinAttackers &&
-				len(vs.sensors) >= th.MinSensors {
-				inv[v] = true
-			}
-		}
-		c.invariants[fi] = inv
-		c.Stats[fi] = FeatureStat{
-			Feature:        schema.Features[fi],
-			Invariants:     len(inv),
-			DistinctValues: len(stats),
-		}
+		feats <- fi
 	}
+	close(feats)
+	wg.Wait()
 
 	// Phase 3 + 4: pattern discovery and classification. Generalizing each
 	// instance (keep invariant values, wildcard the rest) yields exactly
 	// the observed invariant combinations; the generalized tuple of an
 	// instance is also the most specific discovered pattern matching it,
 	// so discovery and most-specific classification coincide (property
-	// covered by tests).
-	type group struct {
-		pattern   Pattern
-		ids       []string
-		attackers map[string]bool
-		sensors   map[string]bool
+	// covered by tests). Grouping is sharded over contiguous instance
+	// ranges; the merge below is order-insensitive because member IDs are
+	// sorted per group and the cluster ordering is total.
+	shardSize := (len(instances) + workers - 1) / workers
+	var shards []map[string]*group
+	var gw sync.WaitGroup
+	for lo := 0; lo < len(instances); lo += shardSize {
+		m := make(map[string]*group)
+		shards = append(shards, m)
+		gw.Add(1)
+		go func(part []Instance, m map[string]*group) {
+			defer gw.Done()
+			for _, in := range part {
+				p := c.generalize(in.Values)
+				key := p.Key()
+				g, ok := m[key]
+				if !ok {
+					g = &group{pattern: p, attackers: make(map[string]bool), sensors: make(map[string]bool)}
+					m[key] = g
+				}
+				g.ids = append(g.ids, in.ID)
+				g.attackers[in.Attacker] = true
+				g.sensors[in.Sensor] = true
+			}
+		}(instances[lo:min(lo+shardSize, len(instances))], m)
 	}
+	gw.Wait()
+
 	groups := make(map[string]*group)
-	for _, in := range instances {
-		vals := make([]string, len(in.Values))
-		for fi, v := range in.Values {
-			if c.invariants[fi][v] {
-				vals[fi] = v
-			} else {
-				vals[fi] = Wildcard
+	for _, m := range shards {
+		for key, g := range m {
+			dst, ok := groups[key]
+			if !ok {
+				groups[key] = g
+				continue
+			}
+			dst.ids = append(dst.ids, g.ids...)
+			for a := range g.attackers {
+				dst.attackers[a] = true
+			}
+			for s := range g.sensors {
+				dst.sensors[s] = true
 			}
 		}
-		p := Pattern{Values: vals}
-		key := p.Key()
-		g, ok := groups[key]
-		if !ok {
-			g = &group{pattern: p, attackers: make(map[string]bool), sensors: make(map[string]bool)}
-			groups[key] = g
-		}
-		g.ids = append(g.ids, in.ID)
-		g.attackers[in.Attacker] = true
-		g.sensors[in.Sensor] = true
 	}
 
 	c.Clusters = make([]Cluster, 0, len(groups))
@@ -369,6 +452,51 @@ func Run(schema Schema, instances []Instance, th Thresholds) (*Clustering, error
 		}
 	}
 	return c, nil
+}
+
+// valueStat accumulates the Phase-2 relevance statistics of one value.
+type valueStat struct {
+	instances int
+	attackers map[string]bool
+	sensors   map[string]bool
+}
+
+// group accumulates the members of one generalized pattern during Phase 3.
+type group struct {
+	pattern   Pattern
+	ids       []string
+	attackers map[string]bool
+	sensors   map[string]bool
+}
+
+// discoverFeature runs Phase-2 invariant discovery for feature fi.
+func (c *Clustering) discoverFeature(fi int, instances []Instance, th Thresholds) {
+	stats := make(map[string]*valueStat)
+	for _, in := range instances {
+		v := in.Values[fi]
+		vs, ok := stats[v]
+		if !ok {
+			vs = &valueStat{attackers: make(map[string]bool), sensors: make(map[string]bool)}
+			stats[v] = vs
+		}
+		vs.instances++
+		vs.attackers[in.Attacker] = true
+		vs.sensors[in.Sensor] = true
+	}
+	inv := make(map[string]bool)
+	for v, vs := range stats {
+		if vs.instances >= th.MinInstances &&
+			len(vs.attackers) >= th.MinAttackers &&
+			len(vs.sensors) >= th.MinSensors {
+			inv[v] = true
+		}
+	}
+	c.invariants[fi] = inv
+	c.Stats[fi] = FeatureStat{
+		Feature:        c.Schema.Features[fi],
+		Invariants:     len(inv),
+		DistinctValues: len(stats),
+	}
 }
 
 // TotalInvariants sums the invariant counts over all features (the

@@ -1,6 +1,7 @@
 package epm
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -68,11 +69,17 @@ func TestRunInputValidation(t *testing.T) {
 	}, th); err == nil {
 		t.Error("duplicate ID must error")
 	}
-	if _, err := Run(s, []Instance{{ID: "x", Values: []string{"a"}}}, th); err == nil {
+	if _, err := Run(s, []Instance{{ID: "x", Attacker: "a", Sensor: "s", Values: []string{"a"}}}, th); err == nil {
 		t.Error("value arity mismatch must error")
 	}
-	if _, err := Run(s, []Instance{{ID: "x", Values: []string{"a", "*", "c"}}}, th); err == nil {
+	if _, err := Run(s, []Instance{{ID: "x", Attacker: "a", Sensor: "s", Values: []string{"a", "*", "c"}}}, th); err == nil {
 		t.Error("reserved wildcard value must error")
+	}
+	if _, err := Run(s, []Instance{{ID: "x", Sensor: "s", Values: []string{"a", "b", "c"}}}, th); err == nil {
+		t.Error("empty attacker must error")
+	}
+	if _, err := Run(s, []Instance{{ID: "x", Attacker: "a", Values: []string{"a", "b", "c"}}}, th); err == nil {
+		t.Error("empty sensor must error")
 	}
 	if _, err := Run(Schema{}, nil, th); err == nil {
 		t.Error("invalid schema must error")
@@ -399,6 +406,151 @@ func TestDeterminism(t *testing.T) {
 			t.Fatalf("cluster %d pattern differs", i)
 		}
 	}
+}
+
+func TestClassifyRejectsWildcardValues(t *testing.T) {
+	s := testSchema()
+	c, err := Run(s, mkInstances("a", 15, 4, 4, "mdA", "1000", "92"), DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "*" would match every pattern at that position; the caller must get
+	// ok=false instead of a bogus most-specific match.
+	if _, _, ok := c.Classify([]string{"*", "1000", "92"}); ok {
+		t.Error("caller-supplied wildcard must not classify")
+	}
+	if _, _, ok := c.Classify([]string{"mdA", "*", "92"}); ok {
+		t.Error("caller-supplied wildcard must not classify")
+	}
+	if _, _, ok := c.Classify([]string{"mdA", "1000"}); ok {
+		t.Error("arity mismatch must not classify")
+	}
+}
+
+func TestClassifyFastPathAgreesWithScan(t *testing.T) {
+	// Property: generalize-then-lookup and the exhaustive most-specific
+	// scan agree on every random query, seen or unseen.
+	s := testSchema()
+	r := simrng.New(7).Stream("epm-fastpath")
+	md5s := []string{"m1", "m2", "m3", "m4", "rare1", "rare2"}
+	sizes := []string{"100", "200", "300", "400"}
+	linkers := []string{"71", "92", "60"}
+	var instances []Instance
+	for i := 0; i < 400; i++ {
+		instances = append(instances, Instance{
+			ID:       fmt.Sprintf("ev%03d", i),
+			Attacker: fmt.Sprintf("a%d", r.Intn(8)),
+			Sensor:   fmt.Sprintf("s%d", r.Intn(6)),
+			Values: []string{
+				md5s[r.Intn(len(md5s))],
+				sizes[r.Intn(len(sizes))],
+				linkers[r.Intn(len(linkers))],
+			},
+		})
+	}
+	c, err := Run(s, instances, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query pool includes values never observed in the corpus.
+	md5s = append(md5s, "never-seen-md5", "x")
+	sizes = append(sizes, "999")
+	linkers = append(linkers, "1")
+	for i := 0; i < 2000; i++ {
+		vals := []string{
+			md5s[r.Intn(len(md5s))],
+			sizes[r.Intn(len(sizes))],
+			linkers[r.Intn(len(linkers))],
+		}
+		fp, fi, fok := c.Classify(vals)
+		sp, si, sok := c.classifyScan(vals)
+		if fok != sok || fi != si || (fok && fp.Key() != sp.Key()) {
+			t.Fatalf("Classify(%v) = (%v, %d, %v), scan = (%v, %d, %v)",
+				vals, fp, fi, fok, sp, si, sok)
+		}
+	}
+}
+
+func TestRunParallelWorkerCountInvariance(t *testing.T) {
+	// The clustering must be byte-identical at every worker count.
+	s := testSchema()
+	r := simrng.New(8).Stream("epm-par")
+	var instances []Instance
+	for i := 0; i < 1200; i++ {
+		instances = append(instances, Instance{
+			ID:       fmt.Sprintf("ev%04d", i),
+			Attacker: fmt.Sprintf("a%d", r.Intn(40)),
+			Sensor:   fmt.Sprintf("s%d", r.Intn(20)),
+			Values: []string{
+				fmt.Sprintf("m%d", r.Intn(30)),
+				fmt.Sprintf("%d", 100*r.Intn(8)),
+				fmt.Sprintf("%d", 60+r.Intn(4)),
+			},
+		})
+	}
+	var want []byte
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		c, err := RunParallel(s, instances, DefaultThresholds(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("clustering differs at workers=%d", workers)
+		}
+	}
+}
+
+// BenchmarkClassifyFastPathVsScan contrasts generalize-then-lookup
+// classification with the exhaustive scan at a paper-scale cluster count
+// (hundreds of M-clusters).
+func BenchmarkClassifyFastPathVsScan(b *testing.B) {
+	s := Schema{Dimension: "mu", Features: []string{"md5", "size", "type", "linker", "sections"}}
+	r := simrng.New(9).Stream("bench-classify")
+	var instances []Instance
+	for i := 0; i < 8000; i++ {
+		fam := r.Intn(300)
+		instances = append(instances, Instance{
+			ID:       fmt.Sprintf("ev%05d", i),
+			Attacker: fmt.Sprintf("a%d", r.Intn(400)),
+			Sensor:   fmt.Sprintf("s%d", r.Intn(150)),
+			Values: []string{
+				fmt.Sprintf("md5-%d", i),
+				fmt.Sprintf("%d", 1000*fam),
+				"pe",
+				fmt.Sprintf("%d", 60+fam%7),
+				".text,.data",
+			},
+		})
+	}
+	c, err := Run(s, instances, DefaultThresholds())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("clusters: %d", len(c.Clusters))
+	b.Run("fastpath", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := c.Classify(instances[i%len(instances)].Values); !ok {
+				b.Fatal("classification failed")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := c.classifyScan(instances[i%len(instances)].Values); !ok {
+				b.Fatal("classification failed")
+			}
+		}
+	})
 }
 
 func BenchmarkRun(b *testing.B) {
