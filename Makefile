@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench
+.PHONY: check vet test race bench bench-json
 
 check: vet test race
 
@@ -18,3 +18,9 @@ race:
 
 bench:
 	go test -bench . -benchtime 1x ./...
+
+# Re-measure the B-clustering scalability trajectory and merge it into
+# BENCH_bcluster.json (entries from other labels, e.g. the committed
+# pre-PR baseline, are preserved).
+bench-json:
+	go run ./cmd/benchjson -label post-pr2 -o BENCH_bcluster.json

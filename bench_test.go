@@ -15,14 +15,13 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/bcluster"
-	"repro/internal/behavior"
+	"repro/internal/benchdata"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/epm"
 	"repro/internal/julisch"
 	"repro/internal/pe"
 	"repro/internal/polymorph"
-	"repro/internal/simrng"
 	"repro/internal/validity"
 )
 
@@ -207,33 +206,21 @@ func BenchmarkTable2IRC(b *testing.B) {
 	b.ReportMetric(float64(len(rows)), "channels")
 }
 
-// benchProfiles builds family-structured behavioral profiles for the
-// LSH-vs-exact ablation.
-func benchProfiles(n int) []bcluster.Input {
-	r := simrng.New(99).Stream("bench-profiles")
-	inputs := make([]bcluster.Input, 0, n)
-	for i := 0; i < n; i++ {
-		fam := i % 25
-		p := behavior.NewProfile()
-		for k := 0; k < 18; k++ {
-			p.Add(fmt.Sprintf("fam%d-f%d", fam, k))
-		}
-		for k := 0; k < r.Intn(3); k++ {
-			p.Add(fmt.Sprintf("s%d-x%d", i, k))
-		}
-		inputs = append(inputs, bcluster.Input{ID: fmt.Sprintf("s%05d", i), Profile: p})
-	}
-	return inputs
-}
-
 // BenchmarkLSHvsExact is the scalability ablation behind the B-clustering
 // design (Bayer et al. NDSS'09): LSH candidate pruning vs the naive
-// O(n²) comparison, at increasing corpus sizes.
+// O(n²) comparison, at increasing corpus sizes. The corpora come from
+// internal/benchdata so cmd/benchjson measures the identical workload;
+// `make bench-json` serializes this trajectory to BENCH_bcluster.json.
+//
+// Benchmark state is reset per iteration inside bcluster (profiles cache
+// their FeatureSet, so the first iteration pays the interning cost and
+// later ones measure the clustering hot path, matching the pipeline,
+// which also builds each profile's set exactly once).
 func BenchmarkLSHvsExact(b *testing.B) {
 	skipPaperScale(b)
 	cfg := bcluster.DefaultConfig()
-	for _, n := range []int{250, 1000, 4000} {
-		inputs := benchProfiles(n)
+	for _, n := range benchdata.LSHSizes {
+		inputs := benchdata.Profiles(n)
 		b.Run(fmt.Sprintf("lsh-%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			var stats bcluster.Stats
@@ -245,7 +232,11 @@ func BenchmarkLSHvsExact(b *testing.B) {
 				stats = res.Stats
 			}
 			b.ReportMetric(float64(stats.CandidatePairs), "pairs")
+			b.ReportMetric(float64(stats.Links), "links")
 		})
+	}
+	for _, n := range benchdata.ExactSizes {
+		inputs := benchdata.Profiles(n)
 		b.Run(fmt.Sprintf("exact-%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			var stats bcluster.Stats
@@ -257,6 +248,7 @@ func BenchmarkLSHvsExact(b *testing.B) {
 				stats = res.Stats
 			}
 			b.ReportMetric(float64(stats.CandidatePairs), "pairs")
+			b.ReportMetric(float64(stats.Links), "links")
 		})
 	}
 }

@@ -1,0 +1,157 @@
+// Command benchjson measures the B-clustering scalability trajectory
+// (bcluster.Run vs bcluster.RunExact over the internal/benchdata corpora)
+// and serializes it to a JSON file, one entry per (label, bench, n).
+//
+// The file accumulates across runs: entries with the same key are
+// replaced, others are kept, so a committed baseline (label "pre-pr2")
+// survives re-measurement of the current tree.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_bcluster.json] [-label current]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/bcluster"
+	"repro/internal/benchdata"
+)
+
+// Entry is one measured benchmark point.
+type Entry struct {
+	// Label distinguishes measurement campaigns (e.g. "pre-pr2", "post-pr2").
+	Label string `json:"label"`
+	// Bench is "lsh" (bcluster.Run) or "exact" (bcluster.RunExact).
+	Bench string `json:"bench"`
+	// N is the corpus size.
+	N int `json:"n"`
+	// NsPerOp, BytesPerOp, AllocsPerOp are the standard Go benchmark
+	// figures for one full clustering run.
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// CandidatePairs and Links come from bcluster.Stats; Clusters is the
+	// resulting partition size. All three are deterministic in (bench, n).
+	CandidatePairs int `json:"candidate_pairs"`
+	Links          int `json:"links"`
+	Clusters       int `json:"clusters"`
+	// Gomaxprocs records the parallelism available to the measurement.
+	Gomaxprocs int `json:"gomaxprocs"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_bcluster.json", "output JSON path (merged in place)")
+	label := flag.String("label", "current", "label for this measurement campaign")
+	flag.Parse()
+
+	if err := run(*out, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, label string) error {
+	entries, err := load(path)
+	if err != nil {
+		return err
+	}
+	cfg := bcluster.DefaultConfig()
+
+	measure := func(bench string, n int, cluster func([]bcluster.Input, bcluster.Config) (*bcluster.Result, error)) error {
+		// Fresh profiles per point: the first clustering run interns each
+		// profile's FeatureSet, subsequent iterations measure the hot path
+		// — the same steady state the enrichment pipeline runs in.
+		inputs := benchdata.Profiles(n)
+		res, err := cluster(inputs, cfg)
+		if err != nil {
+			return err
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster(inputs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		e := Entry{
+			Label:          label,
+			Bench:          bench,
+			N:              n,
+			NsPerOp:        br.NsPerOp(),
+			BytesPerOp:     br.AllocedBytesPerOp(),
+			AllocsPerOp:    br.AllocsPerOp(),
+			CandidatePairs: res.Stats.CandidatePairs,
+			Links:          res.Stats.Links,
+			Clusters:       len(res.Clusters),
+			Gomaxprocs:     runtime.GOMAXPROCS(0),
+		}
+		entries = upsert(entries, e)
+		fmt.Printf("%s/%s-%d\t%d ns/op\t%d B/op\t%d allocs/op\tpairs=%d links=%d clusters=%d\n",
+			e.Label, e.Bench, e.N, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp,
+			e.CandidatePairs, e.Links, e.Clusters)
+		return nil
+	}
+
+	for _, n := range benchdata.LSHSizes {
+		if err := measure("lsh", n, bcluster.Run); err != nil {
+			return err
+		}
+	}
+	for _, n := range benchdata.ExactSizes {
+		if err := measure("exact", n, bcluster.RunExact); err != nil {
+			return err
+		}
+	}
+	return save(path, entries)
+}
+
+func load(path string) ([]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("parsing existing %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+func upsert(entries []Entry, e Entry) []Entry {
+	for i, old := range entries {
+		if old.Label == e.Label && old.Bench == e.Bench && old.N == e.N {
+			entries[i] = e
+			return entries
+		}
+	}
+	return append(entries, e)
+}
+
+func save(path string, entries []Entry) error {
+	sort.Slice(entries, func(a, b int) bool {
+		x, y := entries[a], entries[b]
+		if x.Bench != y.Bench {
+			return x.Bench < y.Bench // "exact" before "lsh"
+		}
+		if x.N != y.N {
+			return x.N < y.N
+		}
+		return x.Label < y.Label
+	})
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

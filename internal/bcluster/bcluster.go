@@ -15,7 +15,6 @@ package bcluster
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"runtime"
 	"sort"
@@ -35,9 +34,10 @@ type Config struct {
 	Threshold float64
 	// Seed decorrelates the hash family.
 	Seed uint64
-	// Workers bounds the goroutines computing MinHash signatures; 0
+	// Workers bounds the goroutines of both parallel stages — MinHash
+	// signature construction and exact-Jaccard candidate verification; 0
 	// defers to core.Scenario.Parallelism (and ultimately GOMAXPROCS).
-	// The partition is independent of the worker count.
+	// Clusters and Stats are byte-identical at every worker count.
 	Workers int
 }
 
@@ -120,9 +120,25 @@ func (r *Result) Singletons() []Cluster {
 }
 
 // Run clusters the inputs with MinHash+LSH candidate generation.
+//
+// The hot path is staged. (1) A worker pool interns every profile into a
+// behavior.FeatureSet and computes its MinHash signature from the
+// precomputed feature hashes. (2) Per LSH band, a bucket scan proposes
+// candidate pairs: buckets whose members already share one union-find
+// component are skipped after a single linear root scan, and pairs that
+// failed verification in an earlier band are deduplicated via packed
+// uint64(i)<<32|j keys. (3) The remaining multi-component buckets are
+// verified by a bounded worker pool computing merge-based exact Jaccard;
+// the verified links are applied to the union-find in sorted order
+// behind a per-band barrier. Every stage partitions work independently
+// of scheduling, so Clusters and Stats are byte-identical at any
+// Config.Workers value.
 func Run(inputs []Input, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if len(inputs) > math.MaxUint32 {
+		return nil, fmt.Errorf("bcluster: %d inputs overflow the packed pair keys", len(inputs))
 	}
 	ids := make(map[string]bool, len(inputs))
 	for _, in := range inputs {
@@ -138,82 +154,283 @@ func Run(inputs []Input, cfg Config) (*Result, error) {
 		ids[in.ID] = true
 	}
 
-	sigs := make([][]uint64, len(inputs))
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(inputs) && len(inputs) > 0 {
-		workers = len(inputs)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				sigs[i] = signature(inputs[i].Profile, cfg)
+	sets := make([]behavior.FeatureSet, len(inputs))
+	parallelChunks(len(inputs), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sets[i] = inputs[i].Profile.FeatureSet()
+		}
+	})
+
+	// Identical feature sets produce identical signatures, and sandbox
+	// runs of the same variant under the same environment outcomes are
+	// exact duplicates, so signatures are computed once per distinct set
+	// and shared. share[i] is the index of the first input with i's set.
+	share := make([]int, len(inputs))
+	reps := make([]int, 0, len(inputs))
+	canon := make(map[uint64][]int, len(inputs))
+	for i := range sets {
+		h := contentHash(sets[i])
+		rep := -1
+		for _, c := range canon[h] {
+			if featureSetsEqual(sets[c], sets[i]) {
+				rep = c
+				break
 			}
-		}()
+		}
+		if rep == -1 {
+			canon[h] = append(canon[h], i)
+			reps = append(reps, i)
+			rep = i
+		}
+		share[i] = rep
 	}
-	for i := range inputs {
-		next <- i
+	sigs := make([][]uint64, len(inputs))
+	parallelChunks(len(reps), workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			sigs[reps[k]] = signature(sets[reps[k]], cfg)
+		}
+	})
+	for i := range sigs {
+		if sigs[i] == nil {
+			sigs[i] = sigs[share[i]]
+		}
 	}
-	close(next)
-	wg.Wait()
 
 	rows := cfg.NumHashes / cfg.Bands
 	uf := newUnionFind(len(inputs))
-	seenPair := make(map[[2]int]bool)
+	roots := make([]int, len(inputs))
+	// failed holds the packed keys of pairs that already missed the
+	// threshold; verified pairs need no memo because their endpoints
+	// share a component from then on.
+	failed := make(map[uint64]struct{})
 	stats := Stats{Samples: len(inputs)}
+	buckets := newGrouper(len(inputs))
+	var jobs [][]int
+	var links []uint64
 
 	for band := 0; band < cfg.Bands; band++ {
-		buckets := make(map[uint64][]int)
-		for i, sig := range sigs {
-			key := bandKey(sig[band*rows:(band+1)*rows], uint64(band))
-			buckets[key] = append(buckets[key], i)
+		for i := range roots {
+			roots[i] = uf.find(i)
 		}
-		for _, members := range buckets {
+		buckets.reset()
+		for i, sig := range sigs {
+			buckets.add(bandKey(sig[band*rows:(band+1)*rows], uint64(band)), i)
+		}
+		// A bucket can only propose pairs when it spans more than one
+		// existing component; one linear root scan replaces the O(m²)
+		// pairwise find scan the serial implementation performed on
+		// every band revisit of an already-merged bucket.
+		jobs = jobs[:0]
+		for _, members := range buckets.groups[:buckets.used] {
 			if len(members) < 2 {
 				continue
 			}
-			for a := 0; a < len(members); a++ {
-				for b := a + 1; b < len(members); b++ {
-					i, j := members[a], members[b]
-					if uf.find(i) == uf.find(j) {
-						continue
-					}
-					pair := [2]int{i, j}
-					if seenPair[pair] {
-						continue
-					}
-					seenPair[pair] = true
-					stats.CandidatePairs++
-					if inputs[i].Profile.Jaccard(inputs[j].Profile) >= cfg.Threshold {
-						stats.Links++
-						uf.union(i, j)
-					}
+			r0 := roots[members[0]]
+			for _, m := range members[1:] {
+				if roots[m] != r0 {
+					jobs = append(jobs, members)
+					break
 				}
 			}
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		// Buckets of one band are member-disjoint, so they verify as
+		// self-contained jobs: each sees only the component structure
+		// from previous bands (roots) plus its own in-bucket merges.
+		verdicts := make([]bucketVerdict, len(jobs))
+		parallelChunks(len(jobs), workers, func(lo, hi int) {
+			scratch := newBucketScratch()
+			for k := lo; k < hi; k++ {
+				verdicts[k] = verifyBucket(jobs[k], roots, sets, failed, cfg.Threshold, scratch)
+			}
+		})
+		links = links[:0]
+		for k := range verdicts {
+			stats.CandidatePairs += verdicts[k].pairs
+			stats.Links += len(verdicts[k].links)
+			links = append(links, verdicts[k].links...)
+			for _, key := range verdicts[k].failed {
+				failed[key] = struct{}{}
+			}
+		}
+		// The components are union-order-independent, but a fixed order
+		// keeps the union-find layout — and with it the next band's
+		// roots snapshot — reproducible byte for byte.
+		sort.Slice(links, func(a, b int) bool { return links[a] < links[b] })
+		for _, key := range links {
+			uf.union(int(key>>32), int(key&math.MaxUint32))
 		}
 	}
 	return assemble(inputs, uf, stats), nil
 }
 
+// bucketVerdict is one bucket's verification outcome: how many candidate
+// pairs it proposed, and the packed keys of the pairs that passed
+// (links) or missed (failed) the similarity threshold.
+type bucketVerdict struct {
+	pairs  int
+	links  []uint64
+	failed []uint64
+}
+
+// bucketScratch is per-worker state reused across bucket jobs: a tiny
+// union-find over the distinct components represented in one bucket.
+type bucketScratch struct {
+	index  map[int]int32
+	parent []int32
+	ids    []int32
+}
+
+func newBucketScratch() *bucketScratch {
+	return &bucketScratch{index: make(map[int]int32)}
+}
+
+// verifyBucket replays the serial implementation's scan over one bucket:
+// pairs are visited in member order, pairs whose endpoints already share
+// a component (from previous bands, or merged earlier in this bucket)
+// are skipped, previously failed pairs are skipped, and every other pair
+// is verified by exact Jaccard over the interned feature sets. The
+// verdict depends only on the band-start roots and the failed set, never
+// on scheduling.
+func verifyBucket(members []int, roots []int, sets []behavior.FeatureSet, failed map[uint64]struct{}, threshold float64, s *bucketScratch) bucketVerdict {
+	clear(s.index)
+	s.parent = s.parent[:0]
+	s.ids = s.ids[:0]
+	for _, m := range members {
+		id, ok := s.index[roots[m]]
+		if !ok {
+			id = int32(len(s.parent))
+			s.index[roots[m]] = id
+			s.parent = append(s.parent, id)
+		}
+		s.ids = append(s.ids, id)
+	}
+	parent := s.parent
+	var v bucketVerdict
+	for a := 0; a < len(members); a++ {
+		for b := a + 1; b < len(members); b++ {
+			la, lb := s.ids[a], s.ids[b]
+			for parent[la] != la {
+				parent[la] = parent[parent[la]]
+				la = parent[la]
+			}
+			for parent[lb] != lb {
+				parent[lb] = parent[parent[lb]]
+				lb = parent[lb]
+			}
+			if la == lb {
+				continue
+			}
+			i, j := members[a], members[b]
+			key := uint64(i)<<32 | uint64(j)
+			if _, seen := failed[key]; seen {
+				continue
+			}
+			v.pairs++
+			if sets[i].Jaccard(sets[j]) >= threshold {
+				v.links = append(v.links, key)
+				s.parent[lb] = la
+			} else {
+				v.failed = append(v.failed, key)
+			}
+		}
+	}
+	return v
+}
+
+// grouper buckets sample indices by band key, reusing its backing
+// storage across bands so the steady-state scan allocates nothing.
+// Groups are ordered by first appearance, i.e. by sample index.
+type grouper struct {
+	slot   map[uint64]int
+	groups [][]int
+	used   int
+}
+
+func newGrouper(n int) *grouper {
+	return &grouper{slot: make(map[uint64]int, n)}
+}
+
+func (g *grouper) reset() {
+	clear(g.slot)
+	for i := 0; i < g.used; i++ {
+		g.groups[i] = g.groups[i][:0]
+	}
+	g.used = 0
+}
+
+func (g *grouper) add(key uint64, i int) {
+	s, ok := g.slot[key]
+	if !ok {
+		s = g.used
+		g.slot[key] = s
+		if s == len(g.groups) {
+			g.groups = append(g.groups, nil)
+		}
+		g.used++
+	}
+	g.groups[s] = append(g.groups[s], i)
+}
+
+// parallelChunks splits [0,n) into one contiguous chunk per worker and
+// runs fn on each; with a single worker it runs inline. The partition is
+// a pure function of n and workers, never of scheduling, which is what
+// lets callers write results into disjoint slice ranges and stay
+// deterministic at any worker count.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // RunExact clusters the inputs with the naive all-pairs comparison. It is
 // the baseline for the LSH-vs-exact ablation; both must produce identical
-// clusters whenever LSH recall is sufficient.
+// clusters whenever LSH recall is sufficient. Verification uses the same
+// interned FeatureSet representation as Run, so the ablation isolates
+// candidate generation rather than Jaccard implementation details.
 func RunExact(inputs []Input, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sets := make([]behavior.FeatureSet, len(inputs))
+	parallelChunks(len(inputs), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sets[i] = inputs[i].Profile.FeatureSet()
+		}
+	})
 	uf := newUnionFind(len(inputs))
 	stats := Stats{Samples: len(inputs)}
 	for i := 0; i < len(inputs); i++ {
 		for j := i + 1; j < len(inputs); j++ {
 			stats.CandidatePairs++
-			if inputs[i].Profile.Jaccard(inputs[j].Profile) >= cfg.Threshold {
+			if sets[i].Jaccard(sets[j]) >= cfg.Threshold {
 				stats.Links++
 				uf.union(i, j)
 			}
@@ -250,22 +467,68 @@ func assemble(inputs []Input, uf *unionFind, stats Stats) *Result {
 	return res
 }
 
-// signature computes the MinHash signature of a profile.
-func signature(p *behavior.Profile, cfg Config) []uint64 {
+// signature computes the MinHash signature from a profile's interned
+// feature hashes. Per feature, two base hashes are derived once and the
+// i-th hash function is h1 + i·h2 (double hashing after
+// Kirsch–Mitzenmacher): one add per slot instead of an independent
+// finalizer per slot. Together with reading precomputed feature hashes
+// instead of re-hashing strings, this is what makes signature
+// construction — the former hot spot — cheap (see BENCH_bcluster.json).
+func signature(fs behavior.FeatureSet, cfg Config) []uint64 {
 	sig := make([]uint64, cfg.NumHashes)
 	for i := range sig {
 		sig[i] = math.MaxUint64
 	}
-	for _, f := range p.Features() {
-		base := hashString(f) ^ cfg.Seed
+	if len(sig) == 96 {
+		// Fixed-size view of the default signature length: the array
+		// pointer removes bounds checks from the innermost loop.
+		s := (*[96]uint64)(sig)
+		for _, fh := range fs {
+			h := mix(fh ^ cfg.Seed)
+			step := mix(fh+0x9e3779b97f4a7c15*(cfg.Seed|1)) | 1
+			for i := range s {
+				// Branchless min: the update rate decays harmonically
+				// across features, so a branch here mispredicts often.
+				s[i] = min(s[i], h)
+				h += step
+			}
+		}
+		return sig
+	}
+	for _, fh := range fs {
+		h := mix(fh ^ cfg.Seed)
+		step := mix(fh+0x9e3779b97f4a7c15*(cfg.Seed|1)) | 1
 		for i := range sig {
-			h := mix(base + uint64(i)*0x9e3779b97f4a7c15)
 			if h < sig[i] {
 				sig[i] = h
 			}
+			h += step
 		}
 	}
 	return sig
+}
+
+// contentHash folds a feature set into one 64-bit key for signature
+// deduplication; featureSetsEqual resolves the (astronomically rare)
+// fold collisions.
+func contentHash(fs behavior.FeatureSet) uint64 {
+	h := uint64(len(fs)) * 0x9e3779b97f4a7c15
+	for _, v := range fs {
+		h = mix(h ^ v)
+	}
+	return h
+}
+
+func featureSetsEqual(a, b behavior.FeatureSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func bandKey(rows []uint64, band uint64) uint64 {
@@ -274,12 +537,6 @@ func bandKey(rows []uint64, band uint64) uint64 {
 		h = mix(h ^ r)
 	}
 	return h
-}
-
-func hashString(s string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(s))
-	return h.Sum64()
 }
 
 func mix(x uint64) uint64 {

@@ -226,6 +226,126 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// fragileInputs models a fragility-heavy landscape without pulling the
+// sandbox in: each family has a stable core, but many members execute a
+// degraded run — a random prefix of the core plus run-specific noise
+// features — exactly the §4.2 profile variability that produces
+// borderline similarities and singleton B-clusters.
+func fragileInputs(n int) []Input {
+	r := simrng.New(13).Stream("fragile")
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		fam := i % 15
+		p := behavior.NewProfile()
+		core := 16
+		if r.Float64() < 0.4 { // degraded run: truncated core + noise
+			core = 4 + r.Intn(12)
+			for k := 0; k < 1+r.Intn(4); k++ {
+				p.Add(fmt.Sprintf("s%d-crash%d", i, k))
+			}
+		}
+		for k := 0; k < core; k++ {
+			p.Add(fmt.Sprintf("fam%d-f%d", fam, k))
+		}
+		inputs = append(inputs, Input{ID: fmt.Sprintf("s%04d", i), Profile: p})
+	}
+	return inputs
+}
+
+// TestRunWorkerCountInvariance pins the parallel-verification contract:
+// Run produces byte-identical Clusters AND Stats whether the candidate
+// pipeline is pinned to one worker or fanned out over eight, on a
+// fragility-heavy landscape where verification order could plausibly
+// change union-find evolution.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	inputs := fragileInputs(400)
+	for _, threshold := range []float64{0.5, 0.7} {
+		cfg := DefaultConfig()
+		cfg.Threshold = threshold
+		cfg.Workers = 1
+		seq, err := Run(inputs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 8
+		par, err := Run(inputs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Stats != par.Stats {
+			t.Fatalf("threshold %v: stats differ: workers=1 %+v, workers=8 %+v",
+				threshold, seq.Stats, par.Stats)
+		}
+		if len(seq.Clusters) != len(par.Clusters) {
+			t.Fatalf("threshold %v: cluster counts differ: %d vs %d",
+				threshold, len(seq.Clusters), len(par.Clusters))
+		}
+		for i := range seq.Clusters {
+			a, b := seq.Clusters[i], par.Clusters[i]
+			if a.ID != b.ID || len(a.Members) != len(b.Members) {
+				t.Fatalf("threshold %v: cluster %d shape differs", threshold, i)
+			}
+			for j := range a.Members {
+				if a.Members[j] != b.Members[j] {
+					t.Fatalf("threshold %v: cluster %d member %d: %q vs %q",
+						threshold, i, j, a.Members[j], b.Members[j])
+				}
+			}
+		}
+	}
+}
+
+// TestLSHMatchesExactStraddlingThreshold is the differential test the
+// hot-path rewrite must pass: family similarities engineered to land on
+// both sides of the 0.7 default threshold, where a missed candidate or a
+// verification-order change would flip the partition.
+func TestLSHMatchesExactStraddlingThreshold(t *testing.T) {
+	r := simrng.New(21).Stream("straddle")
+	var inputs []Input
+	id := 0
+	// 14 core features; members add 0..6 private features, so pairwise
+	// similarity within a family is 14/(14+a+b), ranging 0.54..1.0 and
+	// crossing 0.7 (a+b = 6) in both directions.
+	for fam := 0; fam < 12; fam++ {
+		for member := 0; member < 10; member++ {
+			p := behavior.NewProfile()
+			for k := 0; k < 14; k++ {
+				p.Add(fmt.Sprintf("fam%d-core%d", fam, k))
+			}
+			for k := 0; k < r.Intn(7); k++ {
+				p.Add(fmt.Sprintf("m%d-priv%d", id, k))
+			}
+			inputs = append(inputs, Input{ID: fmt.Sprintf("s%03d", id), Profile: p})
+			id++
+		}
+	}
+	cfg := DefaultConfig()
+	lsh, err := Run(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := RunExact(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsh.Clusters) != len(exact.Clusters) {
+		t.Fatalf("LSH clusters = %d, exact = %d", len(lsh.Clusters), len(exact.Clusters))
+	}
+	// The exact baseline counts every threshold-passing pair; LSH prunes
+	// candidates already linked into one component, so its link count is a
+	// (positive) lower bound.
+	if lsh.Stats.Links == 0 || lsh.Stats.Links > exact.Stats.Links {
+		t.Errorf("LSH links = %d, exact = %d (want 0 < lsh <= exact)",
+			lsh.Stats.Links, exact.Stats.Links)
+	}
+	for _, in := range inputs {
+		if lsh.ClusterOf(in.ID) != exact.ClusterOf(in.ID) {
+			t.Fatalf("sample %s: lsh cluster %d != exact %d",
+				in.ID, lsh.ClusterOf(in.ID), exact.ClusterOf(in.ID))
+		}
+	}
+}
+
 func TestSignatureSimilarityConcentration(t *testing.T) {
 	// MinHash property: signature agreement approximates Jaccard.
 	cfg := DefaultConfig()
@@ -240,7 +360,7 @@ func TestSignatureSimilarityConcentration(t *testing.T) {
 		b.Add(fmt.Sprintf("onlyb%d", i))
 	}
 	// True Jaccard = 60/100 = 0.6.
-	sa, sb := signature(a, cfg), signature(b, cfg)
+	sa, sb := signature(a.FeatureSet(), cfg), signature(b.FeatureSet(), cfg)
 	agree := 0
 	for i := range sa {
 		if sa[i] == sb[i] {

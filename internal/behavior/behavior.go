@@ -12,7 +12,9 @@ package behavior
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // OpKind enumerates the operation types a behavior program can perform.
@@ -163,8 +165,18 @@ func (p *Program) Validate() error {
 
 // Profile is a behavioral profile: the set of abstract features observed
 // during one sandbox execution of a sample.
+//
+// A profile is built by the sandbox (Add) and then consumed read-only by
+// the enrichment and clustering layers. The sorted snapshot (Features)
+// and the interned hash set (FeatureSet) are computed once on first use
+// and cached; Add invalidates the cache. The cache is safe under
+// concurrent readers, matching the bcluster worker pools.
 type Profile struct {
 	features map[string]struct{}
+
+	mu     sync.Mutex
+	sorted []string
+	set    FeatureSet
 }
 
 // NewProfile returns an empty profile.
@@ -174,7 +186,13 @@ func NewProfile() *Profile {
 
 // Add inserts a feature into the profile.
 func (p *Profile) Add(feature string) {
+	if _, ok := p.features[feature]; ok {
+		return
+	}
 	p.features[feature] = struct{}{}
+	p.mu.Lock()
+	p.sorted, p.set = nil, nil
+	p.mu.Unlock()
 }
 
 // Has reports whether the profile contains the feature.
@@ -188,13 +206,40 @@ func (p *Profile) Len() int {
 	return len(p.features)
 }
 
-// Features returns the sorted feature list.
+// Features returns the sorted feature list. The sort runs once per
+// profile; subsequent calls copy the cached snapshot, so callers own the
+// returned slice.
 func (p *Profile) Features() []string {
-	out := make([]string, 0, len(p.features))
-	for f := range p.features {
-		out = append(out, f)
+	p.mu.Lock()
+	if p.sorted == nil {
+		p.sorted = make([]string, 0, len(p.features))
+		for f := range p.features {
+			p.sorted = append(p.sorted, f)
+		}
+		sort.Strings(p.sorted)
 	}
-	sort.Strings(out)
+	out := make([]string, len(p.sorted))
+	copy(out, p.sorted)
+	p.mu.Unlock()
+	return out
+}
+
+// FeatureSet returns the profile's interned hash set, built once per
+// profile and cached. The returned slice is shared and must be treated
+// as read-only; it is the representation the B-clustering hot path
+// (Jaccard verification and MinHash signatures) operates on.
+func (p *Profile) FeatureSet() FeatureSet {
+	p.mu.Lock()
+	if p.set == nil {
+		fs := make(FeatureSet, 0, len(p.features))
+		for f := range p.features {
+			fs = append(fs, FeatureHash(f))
+		}
+		fs.normalize()
+		p.set = fs
+	}
+	out := p.set
+	p.mu.Unlock()
 	return out
 }
 
@@ -257,8 +302,16 @@ func ParseIRCFeature(f string) (server string, port int, room string, ok bool) {
 	if !found {
 		return "", 0, "", false
 	}
-	var p int
-	if _, err := fmt.Sscanf(portStr, "%d", &p); err != nil || p <= 0 {
+	// strconv.Atoi over the full port string: unlike the fmt.Sscanf("%d")
+	// this replaces, it is allocation-free on the Table-2 analysis path
+	// and rejects trailing garbage ("6667x") instead of silently
+	// truncating it. FeatureIRC only ever renders bare digits, so signed
+	// forms are rejected too.
+	if portStr == "" || portStr[0] == '+' || portStr[0] == '-' {
+		return "", 0, "", false
+	}
+	p, err := strconv.Atoi(portStr)
+	if err != nil || p <= 0 || p > 65535 {
 		return "", 0, "", false
 	}
 	return host, p, parts[1], true

@@ -1,0 +1,41 @@
+// Package benchdata generates the family-structured behavioral corpora
+// shared by the LSH-vs-exact ablation (BenchmarkLSHvsExact) and the
+// cmd/benchjson trajectory emitter, so both measure the same workload.
+package benchdata
+
+import (
+	"fmt"
+
+	"repro/internal/bcluster"
+	"repro/internal/behavior"
+	"repro/internal/simrng"
+)
+
+// Profiles builds n behavioral profiles spread over 25 families: 18
+// shared core features per family plus 0–2 sample-specific noise
+// features, the shape the enrichment pipeline produces on a healthy
+// landscape. The corpus is deterministic in n.
+func Profiles(n int) []bcluster.Input {
+	r := simrng.New(99).Stream("bench-profiles")
+	inputs := make([]bcluster.Input, 0, n)
+	for i := 0; i < n; i++ {
+		fam := i % 25
+		p := behavior.NewProfile()
+		for k := 0; k < 18; k++ {
+			p.Add(fmt.Sprintf("fam%d-f%d", fam, k))
+		}
+		for k := 0; k < r.Intn(3); k++ {
+			p.Add(fmt.Sprintf("s%d-x%d", i, k))
+		}
+		inputs = append(inputs, bcluster.Input{ID: fmt.Sprintf("s%05d", i), Profile: p})
+	}
+	return inputs
+}
+
+// LSHSizes and ExactSizes are the benchmark trajectory: the exact
+// baseline stops at 2000 because its O(n²) comparison already costs
+// ~100× the LSH run there, and 10k would dominate the smoke run.
+var (
+	LSHSizes   = []int{500, 2000, 10000}
+	ExactSizes = []int{500, 2000}
+)

@@ -36,7 +36,8 @@ type Scenario struct {
 	Thresholds epm.Thresholds
 	// Parallelism bounds the worker pools of every pipeline stage (EPM
 	// invariant discovery and grouping, sandbox enrichment, MinHash
-	// signatures); 0 selects GOMAXPROCS. Stage-level worker settings
+	// signature construction, and B-cluster candidate verification);
+	// 0 selects GOMAXPROCS. Stage-level worker settings
 	// (Enrichment.Workers, Enrichment.BCluster.Workers), when nonzero,
 	// take precedence. Results are byte-identical at every level.
 	Parallelism int

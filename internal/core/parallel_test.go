@@ -30,6 +30,7 @@ func digest(r *Results) string {
 	epmDim(r.P)
 	epmDim(r.M)
 	bDim := func(res *bcluster.Result) {
+		fmt.Fprintf(&b, "bstats %d %d %d\n", res.Stats.Samples, res.Stats.CandidatePairs, res.Stats.Links)
 		for _, cl := range res.Clusters {
 			fmt.Fprintf(&b, "bcluster %d %s\n", cl.ID, strings.Join(cl.Members, ","))
 		}

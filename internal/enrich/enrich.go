@@ -129,7 +129,11 @@ func (p *Pipeline) Enrich(ds *dataset.Dataset) (*Result, error) {
 	if workers > len(jobs) && len(jobs) > 0 {
 		workers = len(jobs)
 	}
-	reports := make([]*sandbox.Report, len(jobs))
+	type exec struct {
+		report   *sandbox.Report
+		features []string
+	}
+	execs := make([]exec, len(jobs))
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -137,7 +141,14 @@ func (p *Pipeline) Enrich(ds *dataset.Dataset) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				reports[i] = p.sandbox.Run(jobs[i].variant.Program, jobs[i].sample.FirstSeen, jobs[i].sample.MD5)
+				rep := p.sandbox.Run(jobs[i].variant.Program, jobs[i].sample.FirstSeen, jobs[i].sample.MD5)
+				// Build both profile snapshots here, on the worker: the
+				// sorted feature list recorded on the sample and the
+				// interned FeatureSet the B-clustering consumes. Each is
+				// sorted exactly once per profile and reused downstream
+				// instead of being re-derived per call site.
+				rep.Profile.FeatureSet()
+				execs[i] = exec{report: rep, features: rep.Profile.Features()}
 			}
 		}()
 	}
@@ -149,12 +160,12 @@ func (p *Pipeline) Enrich(ds *dataset.Dataset) (*Result, error) {
 
 	inputs := make([]bcluster.Input, 0, len(jobs))
 	for i, j := range jobs {
-		rep := reports[i]
+		rep := execs[i].report
 		res.Executed++
 		if rep.Degraded {
 			res.Degraded++
 		}
-		j.sample.Profile = rep.Profile.Features()
+		j.sample.Profile = execs[i].features
 		inputs = append(inputs, bcluster.Input{ID: j.sample.MD5, Profile: rep.Profile})
 	}
 	bres, err := bcluster.Run(inputs, p.cfg.BCluster)
