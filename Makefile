@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json
+.PHONY: check vet test race bench bench-json run-landscaped smoke-landscaped
 
 check: vet test race
 
@@ -19,8 +19,28 @@ race:
 bench:
 	go test -bench . -benchtime 1x ./...
 
-# Re-measure the B-clustering scalability trajectory and merge it into
-# BENCH_bcluster.json (entries from other labels, e.g. the committed
-# pre-PR baseline, are preserved).
+# Re-measure the B-clustering scalability trajectory (BENCH_bcluster.json)
+# and the streaming-service ingest throughput (BENCH_stream.json); entries
+# from other labels, e.g. the committed pre-PR baselines, are preserved.
 bench-json:
-	go run ./cmd/benchjson -label post-pr2 -o BENCH_bcluster.json
+	go run ./cmd/benchjson -label post-pr3 -o BENCH_bcluster.json -stream-o BENCH_stream.json
+
+# Serve the streaming landscape daemon on the small scenario; feed it
+# with `go run ./cmd/landscaped -small -replay-to http://127.0.0.1:8844`
+# and stop it with ctrl-c (it drains and shuts down gracefully).
+run-landscaped:
+	go run ./cmd/landscaped -small -addr 127.0.0.1:8844
+
+# End-to-end daemon smoke: in-process replay convergence gate, then an
+# HTTP round trip (serve → replay over HTTP → health + stats checks).
+# Mirrors the CI "Landscaped smoke" step.
+smoke-landscaped:
+	go run ./cmd/landscaped -replay -small
+	go build -o /tmp/landscaped-smoke ./cmd/landscaped
+	/tmp/landscaped-smoke -small -addr 127.0.0.1:18901 & \
+	DPID=$$!; sleep 2; \
+	/tmp/landscaped-smoke -small -replay-to http://127.0.0.1:18901 -batch 200 && \
+	curl -sf http://127.0.0.1:18901/healthz && \
+	curl -sf http://127.0.0.1:18901/v1/stats | grep -q '"events": 705'; \
+	RC=$$?; kill -TERM $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
+	rm -f /tmp/landscaped-smoke; exit $$RC

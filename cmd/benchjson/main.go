@@ -1,17 +1,20 @@
 // Command benchjson measures the B-clustering scalability trajectory
 // (bcluster.Run vs bcluster.RunExact over the internal/benchdata corpora)
-// and serializes it to a JSON file, one entry per (label, bench, n).
+// and serializes it to a JSON file, one entry per (label, bench, n). It
+// also measures the streaming service's ingest throughput over the same
+// corpus family and writes it to a second file (BENCH_stream.json).
 //
-// The file accumulates across runs: entries with the same key are
+// Both files accumulate across runs: entries with the same key are
 // replaced, others are kept, so a committed baseline (label "pre-pr2")
 // survives re-measurement of the current tree.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_bcluster.json] [-label current]
+//	benchjson [-o BENCH_bcluster.json] [-stream-o BENCH_stream.json] [-label current]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,9 +22,13 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/bcluster"
+	"repro/internal/behavior"
 	"repro/internal/benchdata"
+	"repro/internal/dataset"
+	"repro/internal/stream"
 )
 
 // Entry is one measured benchmark point.
@@ -46,8 +53,35 @@ type Entry struct {
 	Gomaxprocs int `json:"gomaxprocs"`
 }
 
+// StreamEntry is one measured ingest-throughput point of the streaming
+// service (internal/stream) over the benchdata corpus.
+type StreamEntry struct {
+	Label string `json:"label"`
+	// N is the sample count; Events is the replayed event count (~1.3 N).
+	N      int `json:"n"`
+	Events int `json:"events"`
+	// EpochSize is the re-clustering trigger the service ran with.
+	EpochSize int `json:"epoch_size"`
+	// NsPerEvent and EventsPerSec measure one full replay (ingest through
+	// final flush, enrichment stubbed to a profile lookup).
+	NsPerEvent   int64   `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// HeapAllocBytes is the live heap after the replay and a forced GC —
+	// the bounded-memory evidence for sustained ingest.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// MaxQueueDepth is the deepest the bounded ingest queue ever got.
+	MaxQueueDepth int `json:"max_queue_depth"`
+	// EPMEpochs sums the ε/π/μ re-clustering epochs; BEpochs counts the
+	// B verification epochs; BClusters is the final partition size.
+	EPMEpochs int `json:"epm_epochs"`
+	BEpochs   int `json:"b_epochs"`
+	BClusters int `json:"b_clusters"`
+	Gomaxprocs int `json:"gomaxprocs"`
+}
+
 func main() {
 	out := flag.String("o", "BENCH_bcluster.json", "output JSON path (merged in place)")
+	streamOut := flag.String("stream-o", "BENCH_stream.json", "streaming-service throughput JSON path (merged in place; empty disables)")
 	label := flag.String("label", "current", "label for this measurement campaign")
 	flag.Parse()
 
@@ -55,6 +89,119 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *streamOut != "" {
+		if err := runStream(*streamOut, *label); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// streamEnricher stubs the enrichment pipeline with a lookup into the
+// benchdata profile corpus, so the bench isolates the service's own
+// costs: queueing, classification, epochs, and incremental clustering.
+type streamEnricher map[string]*behavior.Profile
+
+func (e streamEnricher) LabelSample(s *dataset.Sample) error {
+	s.AVLabel = "Bench." + s.MD5
+	return nil
+}
+
+func (e streamEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
+	p, ok := e[s.MD5]
+	if !ok {
+		return nil, false, fmt.Errorf("benchjson: no profile for sample %s", s.MD5)
+	}
+	return p, false, nil
+}
+
+// runStream measures the streaming service's sustained ingest rate.
+func runStream(path, label string) error {
+	entries, err := loadStream(path)
+	if err != nil {
+		return err
+	}
+	for _, n := range benchdata.StreamSizes {
+		enricher := make(streamEnricher, n)
+		for _, in := range benchdata.Profiles(n) {
+			enricher[in.ID] = in.Profile
+		}
+		events := benchdata.StreamEvents(n)
+		cfg := stream.DefaultConfig()
+		svc, err := stream.New(cfg, enricher)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := stream.Replay(context.Background(), svc, events, 256); err != nil {
+			svc.Close()
+			return err
+		}
+		elapsed := time.Since(start)
+		st := svc.Stats()
+		svc.Close()
+		if st.Rejected != 0 || st.EnrichErrors != 0 || st.Events != len(events) {
+			return fmt.Errorf("benchjson: unclean stream replay at n=%d: %+v", n, st)
+		}
+		runtime.GC()
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		e := StreamEntry{
+			Label:          label,
+			N:              n,
+			Events:         len(events),
+			EpochSize:      cfg.EpochSize,
+			NsPerEvent:     elapsed.Nanoseconds() / int64(len(events)),
+			EventsPerSec:   float64(len(events)) / elapsed.Seconds(),
+			HeapAllocBytes: mem.HeapAlloc,
+			MaxQueueDepth:  st.MaxQueueDepth,
+			EPMEpochs:      st.Epsilon.Epoch + st.Pi.Epoch + st.Mu.Epoch,
+			BEpochs:        st.B.Epochs,
+			BClusters:      st.B.Clusters,
+			Gomaxprocs:     runtime.GOMAXPROCS(0),
+		}
+		replaced := false
+		for i, old := range entries {
+			if old.Label == e.Label && old.N == e.N {
+				entries[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			entries = append(entries, e)
+		}
+		fmt.Printf("%s/stream-%d\t%d events\t%d ns/event\t%.0f events/s\theap=%dMB epochs=%d+%d clusters=%d\n",
+			label, n, len(events), elapsed.Nanoseconds()/int64(len(events)),
+			float64(len(events))/elapsed.Seconds(), mem.HeapAlloc>>20,
+			st.Epsilon.Epoch+st.Pi.Epoch+st.Mu.Epoch, st.B.Epochs, st.B.Clusters)
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].N != entries[b].N {
+			return entries[a].N < entries[b].N
+		}
+		return entries[a].Label < entries[b].Label
+	})
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func loadStream(path string) ([]StreamEntry, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []StreamEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("parsing existing %s: %w", path, err)
+	}
+	return entries, nil
 }
 
 func run(path, label string) error {

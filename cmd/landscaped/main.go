@@ -1,0 +1,291 @@
+// Command landscaped serves the streaming landscape service over HTTP:
+// a long-running daemon that ingests attack events and answers live
+// cluster queries, the serving counterpart of the one-shot `landscape`
+// report tool.
+//
+// The daemon hosts one scenario's enrichment pipeline (sandbox + AV
+// oracle, seeded like the batch pipeline), so the events it can enrich
+// are the scenario's own — generate them with the same seed, e.g. by
+// replaying the simulated deployment into it.
+//
+// Usage:
+//
+//	landscaped [-addr :8844] [-seed N] [-small] [-scenario file.json]
+//	           [-epoch 256] [-queue 16] [-batch 64]
+//	landscaped -replay [flags]          # in-process replay + convergence check
+//	landscaped -replay-to URL [flags]   # replay the scenario over HTTP
+//
+// API:
+//
+//	POST /v1/ingest        body: JSON array of events -> {"queued": n}
+//	GET  /v1/clusters/{d}  d in e|epsilon|p|pi|m|mu|b
+//	GET  /v1/sample/{id}
+//	GET  /v1/stats
+//	POST /v1/flush         force an epoch everywhere
+//	GET  /healthz
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "listen address")
+	seed := flag.Uint64("seed", 2010, "scenario seed")
+	small := flag.Bool("small", false, "use the reduced scenario")
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides -small)")
+	epoch := flag.Int("epoch", 256, "pending-pool size that triggers a re-clustering epoch (0 = only on flush)")
+	queue := flag.Int("queue", 16, "ingest queue depth, in batches")
+	batch := flag.Int("batch", 64, "replay batch size, in events")
+	parallelism := flag.Int("parallelism", 0, "worker bound for epochs and sandbox runs (0 = GOMAXPROCS)")
+	replay := flag.Bool("replay", false, "replay the scenario in-process, assert convergence with the batch pipeline, and exit")
+	replayTo := flag.String("replay-to", "", "replay the scenario's events over HTTP to a running landscaped at this base URL, then exit")
+	flag.Parse()
+
+	if err := run(*addr, *seed, *small, *scenarioPath, *epoch, *queue, *batch, *parallelism, *replay, *replayTo); err != nil {
+		fmt.Fprintln(os.Stderr, "landscaped:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed uint64, small bool, scenarioPath string, epoch, queue, batch, parallelism int, replay bool, replayTo string) error {
+	scenario := core.DefaultScenario()
+	if small {
+		scenario = core.SmallScenario()
+	}
+	if scenarioPath != "" {
+		loaded, err := core.LoadScenarioFile(scenarioPath)
+		if err != nil {
+			return err
+		}
+		scenario = loaded
+	}
+	scenario.Seed = seed
+	if parallelism != 0 {
+		scenario.Parallelism = parallelism
+	}
+	cfg := stream.Config{
+		EpochSize:   epoch,
+		QueueDepth:  queue,
+		Parallelism: parallelism,
+		Thresholds:  scenario.Thresholds,
+		BCluster:    scenario.Enrichment.BCluster,
+	}
+
+	if replayTo != "" {
+		return replayOverHTTP(scenario, replayTo, batch)
+	}
+	if replay {
+		return replayInProcess(scenario, cfg, batch)
+	}
+	return serve(scenario, cfg, addr)
+}
+
+// serve hosts the service until SIGINT/SIGTERM, then shuts down
+// gracefully: the listener closes first, in-flight requests get a
+// bounded drain, and the service applies every queued batch before the
+// process exits.
+func serve(scenario core.Scenario, cfg stream.Config, addr string) error {
+	_, _, pipe, err := core.Prepare(scenario)
+	if err != nil {
+		return err
+	}
+	svc, err := stream.New(cfg, pipe)
+	if err != nil {
+		return err
+	}
+
+	server := &http.Server{Addr: addr, Handler: newHandler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Printf("landscaped: serving on %s (seed %d, epoch size %d)\n", addr, scenario.Seed, cfg.EpochSize)
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("landscaped: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := server.Shutdown(shutdownCtx)
+	svc.Close()
+	return shutdownErr
+}
+
+// replayInProcess is the convergence gate: it runs the batch pipeline,
+// replays the same events through a fresh streaming service, and fails
+// unless the final cluster counts coincide.
+func replayInProcess(scenario core.Scenario, cfg stream.Config, batch int) error {
+	res, err := core.Run(scenario)
+	if err != nil {
+		return err
+	}
+	svc, err := stream.New(cfg, res.Pipeline)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	start := time.Now()
+	if err := stream.Replay(context.Background(), svc, res.Dataset.Events(), batch); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	bEvents, bSamples, bExec, bE, bP, bM, bB := res.Counts()
+	gEvents, gSamples, gExec, gE, gP, gM, gB := svc.Counts()
+	fmt.Printf("batch : %6d events %5d samples %5d executable | E=%d P=%d M=%d B=%d\n",
+		bEvents, bSamples, bExec, bE, bP, bM, bB)
+	fmt.Printf("stream: %6d events %5d samples %5d executable | E=%d P=%d M=%d B=%d\n",
+		gEvents, gSamples, gExec, gE, gP, gM, gB)
+	st := svc.Stats()
+	fmt.Printf("replay: %d batches of <=%d events in %v (%.0f events/s), %d epochs (e/p/m) + %d (b), max queue depth %d\n",
+		(bEvents+batch-1)/batch, batch, elapsed.Round(time.Millisecond),
+		float64(gEvents)/elapsed.Seconds(), st.Epsilon.Epoch+st.Pi.Epoch+st.Mu.Epoch, st.B.Epochs, st.MaxQueueDepth)
+	if gEvents != bEvents || gSamples != bSamples || gExec != bExec ||
+		gE != bE || gP != bP || gM != bM || gB != bB {
+		return fmt.Errorf("streaming replay diverged from the batch pipeline")
+	}
+	fmt.Println("converged: streaming replay matches the batch pipeline")
+	return nil
+}
+
+// replayOverHTTP generates the scenario's events and posts them to a
+// running landscaped in batches, then flushes and prints the daemon's
+// stats. The daemon must host the same scenario (same seed), or its
+// enrichment pipeline will reject the samples.
+func replayOverHTTP(scenario core.Scenario, baseURL string, batch int) error {
+	_, sim, _, err := core.Prepare(scenario)
+	if err != nil {
+		return err
+	}
+	events := sim.Dataset.Events()
+	client := &http.Client{Timeout: 60 * time.Second}
+	if batch <= 0 {
+		batch = 64
+	}
+	for start := 0; start < len(events); start += batch {
+		end := start + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		body, err := json.Marshal(events[start:end])
+		if err != nil {
+			return err
+		}
+		if err := post(client, baseURL+"/v1/ingest", body); err != nil {
+			return fmt.Errorf("ingest batch at event %d: %w", start, err)
+		}
+	}
+	if err := post(client, baseURL+"/v1/flush", nil); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	stats, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d events to %s\n%s\n", len(events), baseURL, stats)
+	return nil
+}
+
+func post(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// newHandler builds the HTTP API over a service.
+func newHandler(svc *stream.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, svc.Stats())
+	})
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		var events []dataset.Event
+		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&events); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding events: %w", err))
+			return
+		}
+		if err := svc.Ingest(r.Context(), events); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, map[string]int{"queued": len(events)})
+	})
+	mux.HandleFunc("POST /v1/flush", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Flush(r.Context()); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "flushed"})
+	})
+	mux.HandleFunc("GET /v1/clusters/{dim}", func(w http.ResponseWriter, r *http.Request) {
+		dim := r.PathValue("dim")
+		if dim == "b" {
+			writeJSON(w, svc.BClusters())
+			return
+		}
+		view, err := svc.EPMClusters(dim)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, view)
+	})
+	mux.HandleFunc("GET /v1/sample/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, ok := svc.Sample(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sample %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, view)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

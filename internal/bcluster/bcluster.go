@@ -441,10 +441,20 @@ func RunExact(inputs []Input, cfg Config) (*Result, error) {
 
 // assemble converts union-find components into sorted clusters.
 func assemble(inputs []Input, uf *unionFind, stats Stats) *Result {
+	roots := make([]int, len(inputs))
+	for i := range roots {
+		roots[i] = uf.find(i)
+	}
+	return assembleRoots(inputs, roots, stats)
+}
+
+// assembleRoots converts a precomputed component-root vector into sorted
+// clusters; Incremental.Result uses it with non-mutating root resolution
+// so snapshots are safe under a read lock.
+func assembleRoots(inputs []Input, roots []int, stats Stats) *Result {
 	groups := make(map[int][]string)
 	for i, in := range inputs {
-		root := uf.find(i)
-		groups[root] = append(groups[root], in.ID)
+		groups[roots[i]] = append(groups[roots[i]], in.ID)
 	}
 	clusters := make([]Cluster, 0, len(groups))
 	for _, members := range groups {
@@ -558,6 +568,14 @@ func newUnionFind(n int) *unionFind {
 		uf.parent[i] = i
 	}
 	return uf
+}
+
+// grow extends the forest to n elements, each new element its own root.
+func (uf *unionFind) grow(n int) {
+	for i := len(uf.parent); i < n; i++ {
+		uf.parent = append(uf.parent, i)
+		uf.rank = append(uf.rank, 0)
+	}
 }
 
 func (uf *unionFind) find(x int) int {

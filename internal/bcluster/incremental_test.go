@@ -1,0 +1,206 @@
+package bcluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/behavior"
+	"repro/internal/simrng"
+)
+
+// incCorpus builds a family-structured corpus shaped like the enrichment
+// output: shared per-family cores plus per-sample noise (mirrors
+// internal/benchdata, which cannot be imported from this package).
+func incCorpus(n int) []Input {
+	r := simrng.New(7).Stream("inc-corpus")
+	inputs := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		fam := i % 17
+		p := behavior.NewProfile()
+		for k := 0; k < 15; k++ {
+			p.Add(fmt.Sprintf("fam%d-f%d", fam, k))
+		}
+		for k := 0; k < r.Intn(4); k++ {
+			p.Add(fmt.Sprintf("s%d-x%d", i, k))
+		}
+		inputs = append(inputs, Input{ID: fmt.Sprintf("s%04d", i), Profile: p})
+	}
+	return inputs
+}
+
+// members strips cluster IDs and stats down to the membership partition.
+func members(r *Result) [][]string {
+	out := make([][]string, len(r.Clusters))
+	for i, c := range r.Clusters {
+		out[i] = c.Members
+	}
+	return out
+}
+
+func TestIncrementalMatchesBatchAtEveryEpochSize(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := incCorpus(400)
+	batch, err := Run(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, epoch := range []int{1, 7, 64, len(inputs)} {
+		inc, err := NewIncremental(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range inputs {
+			if err := inc.Add(in); err != nil {
+				t.Fatal(err)
+			}
+			if inc.Pending() >= epoch {
+				inc.Verify()
+			}
+			if i == len(inputs)-1 {
+				inc.Verify()
+			}
+		}
+		got := inc.Result()
+		if !reflect.DeepEqual(members(got), members(batch)) {
+			t.Fatalf("epoch=%d: incremental partition diverges from batch (%d vs %d clusters)",
+				epoch, len(got.Clusters), len(batch.Clusters))
+		}
+		if inc.Components() != len(batch.Clusters) {
+			t.Errorf("epoch=%d: Components() = %d, want %d", epoch, inc.Components(), len(batch.Clusters))
+		}
+		if got.Stats.Samples != len(inputs) {
+			t.Errorf("epoch=%d: Samples = %d", epoch, got.Stats.Samples)
+		}
+	}
+}
+
+func TestIncrementalOrderInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := incCorpus(200)
+	batch, err := Run(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := simrng.New(11).Stream("perm").Perm(len(inputs))
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range perm {
+		if err := inc.Add(inputs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc.Verify()
+	if !reflect.DeepEqual(members(inc.Result()), members(batch)) {
+		t.Fatal("permuted arrival order changed the final partition")
+	}
+}
+
+func TestIncrementalPendingSnapshot(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := incCorpus(40)
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs[:30] {
+		if err := inc.Add(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc.Verify()
+	for _, in := range inputs[30:] {
+		if err := inc.Add(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", inc.Pending())
+	}
+	// Parked samples appear as singletons in the snapshot.
+	res := inc.Result()
+	total := 0
+	for _, c := range res.Clusters {
+		total += c.Size()
+	}
+	if total != 40 {
+		t.Fatalf("snapshot covers %d samples, want 40", total)
+	}
+	for _, in := range inputs[30:] {
+		idx := res.ClusterOf(in.ID)
+		if idx < 0 || res.Clusters[idx].Size() != 1 {
+			t.Errorf("parked sample %s not a singleton in the snapshot", in.ID)
+		}
+	}
+	if inc.Epochs() != 1 {
+		t.Errorf("Epochs = %d, want 1", inc.Epochs())
+	}
+}
+
+func TestIncrementalAmend(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := incCorpus(60)
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs[:59] {
+		if err := inc.Add(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc.Verify()
+	if err := inc.Amend(inputs[0].ID, inputs[0].Profile); err == nil {
+		t.Error("amending a verified sample must error")
+	}
+	// Amend a parked sample: the final partition must equal the batch run
+	// over the amended corpus.
+	amended := behavior.NewProfile()
+	for k := 0; k < 15; k++ {
+		amended.Add(fmt.Sprintf("fam3-f%d", k))
+	}
+	last := inputs[59]
+	if err := inc.Add(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Amend(last.ID, amended); err != nil {
+		t.Fatal(err)
+	}
+	inc.Verify()
+
+	batchInputs := append(append([]Input{}, inputs[:59]...), Input{ID: last.ID, Profile: amended})
+	batch, err := Run(batchInputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(members(inc.Result()), members(batch)) {
+		t.Fatal("amended partition diverges from batch over the amended corpus")
+	}
+	if err := inc.Amend("nope", amended); err == nil {
+		t.Error("amending an unknown sample must error")
+	}
+}
+
+func TestIncrementalAddValidation(t *testing.T) {
+	inc, err := NewIncremental(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(Input{ID: "", Profile: behavior.NewProfile()}); err == nil {
+		t.Error("empty ID must error")
+	}
+	if err := inc.Add(Input{ID: "a", Profile: nil}); err == nil {
+		t.Error("nil profile must error")
+	}
+	if err := inc.Add(Input{ID: "a", Profile: behavior.NewProfile()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(Input{ID: "a", Profile: behavior.NewProfile()}); err == nil {
+		t.Error("duplicate ID must error")
+	}
+	if !inc.Has("a") || inc.Has("b") {
+		t.Error("Has misreports membership")
+	}
+}

@@ -5,9 +5,12 @@ package benchdata
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bcluster"
 	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/pe"
 	"repro/internal/simrng"
 )
 
@@ -39,3 +42,57 @@ var (
 	LSHSizes   = []int{500, 2000, 10000}
 	ExactSizes = []int{500, 2000}
 )
+
+// StreamSizes is the ingest-throughput trajectory of the streaming
+// service bench (samples per corpus; events run ~1.3× that).
+var StreamSizes = []int{1000, 10000}
+
+// StreamEvents builds the ingest workload for the streaming-service
+// throughput bench: one delivery event per Profiles(n) sample plus a 30%
+// tail of repeat deliveries, time-ordered, with ε/π/μ values drawn from
+// the sample's family so every EPM dimension forms patterns. The event
+// stream is deterministic in n and references exactly the Profiles(n)
+// sample IDs, so the two corpora pair up as enrichment input and output.
+func StreamEvents(n int) []dataset.Event {
+	r := simrng.New(99).Stream("bench-events")
+	base := time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+	total := n + n*3/10
+	events := make([]dataset.Event, 0, total)
+	mk := func(i, sample int) dataset.Event {
+		fam := sample % 25
+		return dataset.Event{
+			ID:       fmt.Sprintf("bev%06d", i),
+			Time:     base.Add(time.Duration(i) * time.Second),
+			Attacker: fmt.Sprintf("198.51.%d.%d", r.Intn(4), r.Intn(250)),
+			Sensor:   fmt.Sprintf("192.0.2.%d", r.Intn(120)),
+			FSMPath:  fmt.Sprintf("445:s%d", fam%5),
+			DestPort: 445,
+			Protocol: []string{"csend", "ftp", "http"}[fam%3],
+			Filename: fmt.Sprintf("drop%d.exe", fam%4),
+			PayloadPort: 9000 + fam%6,
+			Interaction: "PUSH",
+			Sample: pe.Features{
+				MD5:             fmt.Sprintf("s%05d", sample),
+				Size:            20000 + fam*512,
+				Magic:           pe.MagicPEGUI,
+				IsPE:            true,
+				MachineType:     332,
+				NumSections:     3 + fam%3,
+				NumImportedDLLs: 2 + fam%4,
+				OSVersion:       40,
+				LinkerVersion:   60 + fam%2,
+				SectionNames:    fmt.Sprintf(".text,.data,.fam%d", fam),
+				ImportedDLLs:    fmt.Sprintf("kernel32.dll,ws2_32.dll,fam%d.dll", fam%7),
+				Kernel32Symbols: "CreateFileA,WriteFile",
+			},
+			DownloadOutcome: "ok",
+		}
+	}
+	for i := 0; i < n; i++ {
+		events = append(events, mk(i, i))
+	}
+	for i := n; i < total; i++ {
+		events = append(events, mk(i, r.Intn(n)))
+	}
+	return events
+}

@@ -80,12 +80,13 @@ type Results struct {
 	CrossMap *analysis.CrossMap
 }
 
-// Run executes the full pipeline. The three EPM clusterings are the
-// paper's independent observation perspectives — they share no state, so
-// they run concurrently; Scenario.Parallelism additionally bounds the
-// worker pools inside every stage. The output is deterministic under the
-// scenario seed at any parallelism level.
-func Run(s Scenario) (*Results, error) {
+// Prepare executes the generation and simulation prefix of Run: it
+// generates the landscape, simulates the deployment, and builds the
+// enrichment pipeline, all seeded exactly as Run seeds them. The
+// streaming service (internal/stream) replays sim.Dataset events through
+// the returned pipeline to converge on the same results the batch Run
+// produces; Run itself continues from here with the batch enrichment.
+func Prepare(s Scenario) (*malgen.Landscape, *sgnet.Result, *enrich.Pipeline, error) {
 	rng := simrng.New(s.Seed)
 
 	enrichCfg := s.Enrichment
@@ -98,15 +99,28 @@ func Run(s Scenario) (*Results, error) {
 
 	landscape, err := malgen.Generate(s.Landscape, rng.Child("landscape"))
 	if err != nil {
-		return nil, fmt.Errorf("core: generating landscape: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: generating landscape: %w", err)
 	}
 	sim, err := sgnet.Simulate(landscape, s.Deployment, rng.Child("sgnet"))
 	if err != nil {
-		return nil, fmt.Errorf("core: simulating deployment: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: simulating deployment: %w", err)
 	}
 	pipe, err := enrich.New(landscape, enrichCfg, rng.Child("enrich"))
 	if err != nil {
-		return nil, fmt.Errorf("core: building enrichment: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: building enrichment: %w", err)
+	}
+	return landscape, sim, pipe, nil
+}
+
+// Run executes the full pipeline. The three EPM clusterings are the
+// paper's independent observation perspectives — they share no state, so
+// they run concurrently; Scenario.Parallelism additionally bounds the
+// worker pools inside every stage. The output is deterministic under the
+// scenario seed at any parallelism level.
+func Run(s Scenario) (*Results, error) {
+	landscape, sim, pipe, err := Prepare(s)
+	if err != nil {
+		return nil, err
 	}
 	enriched, err := pipe.Enrich(sim.Dataset)
 	if err != nil {

@@ -222,16 +222,67 @@ var (
 	}}
 )
 
+// EpsilonInstance projects one event onto the ε schema. The per-event
+// projections are the single source of truth for the feature encodings:
+// the batch accessors below and the streaming service (internal/stream)
+// both build on them, so an event projects identically whichever path
+// consumes it.
+func (e Event) EpsilonInstance() epm.Instance {
+	return epm.Instance{
+		ID:       e.ID,
+		Attacker: e.Attacker,
+		Sensor:   e.Sensor,
+		Values:   []string{e.FSMPath, strconv.Itoa(e.DestPort)},
+	}
+}
+
+// PiInstance projects one event onto the π schema.
+func (e Event) PiInstance() epm.Instance {
+	return epm.Instance{
+		ID:       e.ID,
+		Attacker: e.Attacker,
+		Sensor:   e.Sensor,
+		Values: []string{
+			e.Protocol,
+			orNone(e.Filename),
+			strconv.Itoa(e.PayloadPort),
+			e.Interaction,
+		},
+	}
+}
+
+// MuInstance projects one event onto the μ schema; ok is false when the
+// event stored no sample and therefore has no μ facts.
+func (e Event) MuInstance() (_ epm.Instance, ok bool) {
+	if !e.HasSample() {
+		return epm.Instance{}, false
+	}
+	f := e.Sample
+	return epm.Instance{
+		ID:       e.ID,
+		Attacker: e.Attacker,
+		Sensor:   e.Sensor,
+		Values: []string{
+			f.MD5,
+			strconv.Itoa(f.Size),
+			f.Magic,
+			strconv.Itoa(f.MachineType),
+			strconv.Itoa(f.NumSections),
+			strconv.Itoa(f.NumImportedDLLs),
+			strconv.Itoa(f.OSVersion),
+			strconv.Itoa(f.LinkerVersion),
+			orNone(f.SectionNames),
+			orNone(f.ImportedDLLs),
+			orNone(f.Kernel32Symbols),
+		},
+	}, true
+}
+
 // EpsilonInstances projects the events onto the ε schema.
 func (d *Dataset) EpsilonInstances() []epm.Instance {
 	out := make([]epm.Instance, 0, len(d.events))
 	for _, e := range d.events {
-		out = append(out, epm.Instance{
-			ID:       e.ID,
-			Attacker: e.Attacker,
-			Sensor:   e.Sensor,
-			Values:   []string{e.FSMPath, strconv.Itoa(e.DestPort)},
-		})
+		out = append(out, e.EpsilonInstance())
 	}
 	return out
 }
@@ -240,17 +291,7 @@ func (d *Dataset) EpsilonInstances() []epm.Instance {
 func (d *Dataset) PiInstances() []epm.Instance {
 	out := make([]epm.Instance, 0, len(d.events))
 	for _, e := range d.events {
-		out = append(out, epm.Instance{
-			ID:       e.ID,
-			Attacker: e.Attacker,
-			Sensor:   e.Sensor,
-			Values: []string{
-				e.Protocol,
-				orNone(e.Filename),
-				strconv.Itoa(e.PayloadPort),
-				e.Interaction,
-			},
-		})
+		out = append(out, e.PiInstance())
 	}
 	return out
 }
@@ -260,28 +301,9 @@ func (d *Dataset) PiInstances() []epm.Instance {
 func (d *Dataset) MuInstances() []epm.Instance {
 	out := make([]epm.Instance, 0, len(d.events))
 	for _, e := range d.events {
-		if !e.HasSample() {
-			continue
+		if in, ok := e.MuInstance(); ok {
+			out = append(out, in)
 		}
-		f := e.Sample
-		out = append(out, epm.Instance{
-			ID:       e.ID,
-			Attacker: e.Attacker,
-			Sensor:   e.Sensor,
-			Values: []string{
-				f.MD5,
-				strconv.Itoa(f.Size),
-				f.Magic,
-				strconv.Itoa(f.MachineType),
-				strconv.Itoa(f.NumSections),
-				strconv.Itoa(f.NumImportedDLLs),
-				strconv.Itoa(f.OSVersion),
-				strconv.Itoa(f.LinkerVersion),
-				orNone(f.SectionNames),
-				orNone(f.ImportedDLLs),
-				orNone(f.Kernel32Symbols),
-			},
-		})
 	}
 	return out
 }

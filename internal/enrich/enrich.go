@@ -110,15 +110,12 @@ func (p *Pipeline) Enrich(ds *dataset.Dataset) (*Result, error) {
 	}
 	jobs := make([]job, 0, len(samples))
 	for _, s := range samples {
-		v := p.landscape.Variant(s.TruthVariant)
-		if v == nil {
-			return nil, fmt.Errorf("enrich: sample %s references unknown variant %q", s.MD5, s.TruthVariant)
+		if err := p.LabelSample(s); err != nil {
+			return nil, err
 		}
-		avName := p.avName(v.FamilyName)
-		s.AVLabel = p.oracle.Label(avName, s.MD5)
-		s.AVLabels = p.panel.Labels(avName, s.MD5)
 		if s.Executable {
-			jobs = append(jobs, job{sample: s, variant: v})
+			// LabelSample already validated the variant reference.
+			jobs = append(jobs, job{sample: s, variant: p.landscape.Variant(s.TruthVariant)})
 		}
 	}
 
@@ -141,13 +138,7 @@ func (p *Pipeline) Enrich(ds *dataset.Dataset) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rep := p.sandbox.Run(jobs[i].variant.Program, jobs[i].sample.FirstSeen, jobs[i].sample.MD5)
-				// Build both profile snapshots here, on the worker: the
-				// sorted feature list recorded on the sample and the
-				// interned FeatureSet the B-clustering consumes. Each is
-				// sorted exactly once per profile and reused downstream
-				// instead of being re-derived per call site.
-				rep.Profile.FeatureSet()
+				rep := p.executeVariant(jobs[i].variant, jobs[i].sample)
 				execs[i] = exec{report: rep, features: rep.Profile.Features()}
 			}
 		}()
@@ -174,6 +165,49 @@ func (p *Pipeline) Enrich(ds *dataset.Dataset) (*Result, error) {
 	}
 	res.BClusters = bres
 	return res, nil
+}
+
+// LabelSample assigns the AV oracle and panel labels to one sample. It is
+// the per-sample unit of the labeling pass, shared by the batch Enrich
+// loop and the streaming service (internal/stream), which labels samples
+// as they first appear.
+func (p *Pipeline) LabelSample(s *dataset.Sample) error {
+	v := p.landscape.Variant(s.TruthVariant)
+	if v == nil {
+		return fmt.Errorf("enrich: sample %s references unknown variant %q", s.MD5, s.TruthVariant)
+	}
+	avName := p.avName(v.FamilyName)
+	s.AVLabel = p.oracle.Label(avName, s.MD5)
+	s.AVLabels = p.panel.Labels(avName, s.MD5)
+	return nil
+}
+
+// ExecuteSample runs one executable sample through the sandbox at its
+// first-seen instant and returns its behavioral profile and whether the
+// run degraded. The execution randomness derives from the sample hash
+// alone, so the profile is identical whether the sample is executed by
+// the batch Enrich pass or incrementally by the streaming service — as
+// long as FirstSeen matches.
+func (p *Pipeline) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
+	if !s.Executable {
+		return nil, false, fmt.Errorf("enrich: sample %s is not executable", s.MD5)
+	}
+	v := p.landscape.Variant(s.TruthVariant)
+	if v == nil {
+		return nil, false, fmt.Errorf("enrich: sample %s references unknown variant %q", s.MD5, s.TruthVariant)
+	}
+	rep := p.executeVariant(v, s)
+	return rep.Profile, rep.Degraded, nil
+}
+
+// executeVariant is the shared sandbox invocation: it builds both profile
+// snapshots on the calling goroutine — the sorted feature list recorded
+// on the sample and the interned FeatureSet the B-clustering consumes —
+// so each is derived exactly once per profile and reused downstream.
+func (p *Pipeline) executeVariant(v *malgen.Variant, s *dataset.Sample) *sandbox.Report {
+	rep := p.sandbox.Run(v.Program, s.FirstSeen, s.MD5)
+	rep.Profile.FeatureSet()
+	return rep
 }
 
 // Reexecute runs a sample's program `attempts` times with fresh run keys

@@ -49,13 +49,18 @@ func ReadJSON(r io.Reader) (*Clustering, error) {
 }
 
 // ReadAllJSON reads every clustering from a stream of WriteJSON outputs.
+// A decode failure is wrapped with the index of the clustering being read
+// and the byte offset the decoder had reached, so a truncated or corrupt
+// multi-clustering file points at the damage instead of a bare JSON
+// error.
 func ReadAllJSON(r io.Reader) ([]*Clustering, error) {
 	dec := json.NewDecoder(r)
 	var out []*Clustering
 	for dec.More() {
 		c, err := decodeClustering(dec)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("epm: clustering %d (stream offset %d): %w",
+				len(out), dec.InputOffset(), err)
 		}
 		out = append(out, c)
 	}

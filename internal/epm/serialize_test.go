@@ -80,3 +80,50 @@ func TestReadJSONRejects(t *testing.T) {
 		})
 	}
 }
+
+// TestReadAllJSONTruncatedStream verifies a multi-clustering stream that
+// breaks off mid-value fails with the clustering index and stream offset
+// in the error, and that intact prefixes still load.
+func TestReadAllJSONTruncatedStream(t *testing.T) {
+	c := buildClustering(t)
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+
+	all, err := ReadAllJSON(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("read %d clusterings, want 3", len(all))
+	}
+
+	// Cut inside the third value: the first two must have decoded, and
+	// the error must name clustering 2 and a position inside the stream.
+	cut := full[:len(full)-len(full)/4]
+	if _, err := ReadAllJSON(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated stream must fail")
+	} else {
+		msg := err.Error()
+		if !strings.Contains(msg, "clustering 2") {
+			t.Errorf("error does not name the failing clustering: %v", err)
+		}
+		if !strings.Contains(msg, "stream offset") {
+			t.Errorf("error does not carry the stream offset: %v", err)
+		}
+	}
+
+	// A semantically invalid value mid-stream is located the same way.
+	var mixed bytes.Buffer
+	if err := c.WriteJSON(&mixed); err != nil {
+		t.Fatal(err)
+	}
+	mixed.WriteString(`{"schema":{"Dimension":"m","Features":["a"]},"thresholds":{"MinInstances":0,"MinAttackers":1,"MinSensors":1},"invariants":[[]],"clusters":[]}`)
+	if _, err := ReadAllJSON(&mixed); err == nil || !strings.Contains(err.Error(), "clustering 1") {
+		t.Errorf("invalid second clustering not located: %v", err)
+	}
+}

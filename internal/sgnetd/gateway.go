@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/scriptgen"
@@ -20,11 +21,21 @@ type GatewayStats struct {
 	NewEdges      int
 }
 
+// defaultDrainTimeout bounds how long Close waits for in-flight sensor
+// connections to finish their current exchange.
+const defaultDrainTimeout = time.Second
+
 // Gateway is the central entity of the deployment: master FSM models,
 // sample-factory oracle, and event collection point.
 type Gateway struct {
-	ln net.Listener
-	wg sync.WaitGroup
+	// DrainTimeout is the grace period Close grants in-flight sensor
+	// connections before force-closing them; zero selects one second.
+	// Set it before Start.
+	DrainTimeout time.Duration
+
+	ln    net.Listener
+	wg    sync.WaitGroup
+	drain chan struct{}
 
 	mu      sync.Mutex
 	fsms    *scriptgen.Set
@@ -42,6 +53,7 @@ func NewGateway(matureAfter int) *Gateway {
 		fsms:  scriptgen.NewSet(matureAfter),
 		ds:    dataset.New(),
 		conns: make(map[net.Conn]bool),
+		drain: make(chan struct{}),
 	}
 }
 
@@ -103,6 +115,13 @@ func (g *Gateway) handle(conn net.Conn) {
 		}
 		if fatal {
 			return
+		}
+		select {
+		case <-g.drain:
+			// Shutdown: the reply above completed the exchange; leave
+			// before blocking in another read.
+			return
+		default:
 		}
 	}
 }
@@ -166,8 +185,13 @@ func errorEnvelope(msg string) *Envelope {
 	return &Envelope{Type: MsgError, Error: msg}
 }
 
-// Close stops accepting, closes the listener, and waits for in-flight
-// connections to finish their current message.
+// Close shuts the gateway down deterministically: the listener closes
+// first so no new sensor joins the drain, in-flight connections then get
+// DrainTimeout to complete their current exchange (a handler mid-dispatch
+// always delivers its reply), and only the connections still open at the
+// deadline are force-closed. Close returns after every handler has
+// exited, so the collected Dataset is complete and immutable from then
+// on.
 func (g *Gateway) Close() error {
 	g.mu.Lock()
 	if g.closed {
@@ -180,19 +204,49 @@ func (g *Gateway) Close() error {
 		conns = append(conns, c)
 	}
 	g.mu.Unlock()
+
 	var err error
 	if g.ln != nil {
 		err = g.ln.Close()
 	}
-	// Force-close live sensor connections so Wait cannot block on handlers
-	// parked in a read.
+	timeout := g.DrainTimeout
+	if timeout <= 0 {
+		timeout = defaultDrainTimeout
+	}
+	// Signal handlers to exit at their next exchange boundary, and bound
+	// the reads of handlers parked waiting on a silent sensor.
+	close(g.drain)
+	deadline := time.Now().Add(timeout)
 	for _, c := range conns {
-		_ = c.Close()
+		_ = c.SetDeadline(deadline)
+	}
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout + 100*time.Millisecond):
+		// Stragglers blew the grace period (e.g. blocked writes the
+		// deadline could not interrupt): sever them.
+		g.mu.Lock()
+		remaining := make([]net.Conn, 0, len(g.conns))
+		for c := range g.conns {
+			remaining = append(remaining, c)
+		}
+		g.mu.Unlock()
+		for _, c := range remaining {
+			_ = c.Close()
+		}
+		<-done
 	}
 	return err
 }
 
-// Wait blocks until every connection handler has exited.
+// Wait blocks until every connection handler has exited. Close already
+// drains; Wait remains for callers that observe shutdown from another
+// goroutine.
 func (g *Gateway) Wait() {
 	g.wg.Wait()
 }

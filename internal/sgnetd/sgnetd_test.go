@@ -312,3 +312,113 @@ func TestGatewayCloseIdempotence(t *testing.T) {
 	}
 	g.Wait()
 }
+
+// TestGatewayCloseDrains exercises the deterministic shutdown contract:
+// the listener refuses new sensors first, idle connections drain within
+// the bounded grace period, every acknowledged event survives into the
+// dataset, and Close itself returns only after all handlers exited.
+func TestGatewayCloseDrains(t *testing.T) {
+	g := NewGateway(0)
+	g.DrainTimeout = 300 * time.Millisecond
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sensors = 4
+	conns := make([]*Sensor, sensors)
+	for i := range conns {
+		s, err := Dial(addr.String(), fmt.Sprintf("drain-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		conns[i] = s
+		ev := dataset.Event{
+			ID:              fmt.Sprintf("drain-ev-%d", i),
+			Time:            simtime.WeekStart(1),
+			Attacker:        "198.51.100.9",
+			Sensor:          fmt.Sprintf("192.0.2.%d", i+1),
+			FSMPath:         "445:s1",
+			DestPort:        445,
+			Protocol:        "csend",
+			DownloadOutcome: "failed",
+		}
+		if err := s.Report(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Idle connections are parked in reads; the deadline unblocks them at
+	// the grace boundary, well before the force-close backstop.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Close took %v, drain is not bounded", elapsed)
+	}
+
+	// Every acknowledged event must be in the collected dataset.
+	if got := g.Dataset().EventCount(); got != sensors {
+		t.Errorf("dataset has %d events after drain, want %d", got, sensors)
+	}
+	// New sensors are refused once Close ran.
+	if _, err := Dial(addr.String(), "late"); err == nil {
+		t.Error("dial after Close must fail")
+	}
+	// Drained sensors observe the disconnect on their next exchange.
+	if err := conns[0].Report(dataset.Event{ID: "post-close", Time: simtime.WeekStart(1),
+		Attacker: "a", Sensor: "s", DownloadOutcome: "failed"}); err == nil {
+		t.Error("report after Close must fail")
+	}
+	g.Wait() // must not block after Close
+}
+
+// TestGatewayCloseMidExchange verifies a handler mid-dispatch completes
+// the in-flight exchange: replies queued before the drain signal are
+// delivered, not cut off.
+func TestGatewayCloseMidExchange(t *testing.T) {
+	g := NewGateway(0)
+	g.DrainTimeout = 500 * time.Millisecond
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Dial(addr.String(), "mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Race reports against Close: each Report either fully succeeds
+	// (ack received) or fails cleanly; acknowledged events are never
+	// lost from the dataset.
+	acked := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			ev := dataset.Event{
+				ID:              fmt.Sprintf("mid-ev-%d", i),
+				Time:            simtime.WeekStart(1),
+				Attacker:        "198.51.100.10",
+				Sensor:          "192.0.2.9",
+				DownloadOutcome: "failed",
+			}
+			if err := s.Report(ev); err != nil {
+				return
+			}
+			acked++
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if got := g.Dataset().EventCount(); got < acked {
+		t.Errorf("dataset has %d events, sensor got %d acks: acknowledged events were lost", got, acked)
+	}
+}

@@ -1,0 +1,91 @@
+package stream_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bcluster"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// bMembers reduces a behavioral clustering to its membership partition
+// (cluster IDs and stats are presentation, not identity).
+func bMembers(r *bcluster.Result) [][]string {
+	out := make([][]string, len(r.Clusters))
+	for i, c := range r.Clusters {
+		out[i] = c.Members
+	}
+	return out
+}
+
+// TestReplayMatchesBatch is the streaming/batch equivalence gate: a
+// replay of the full SmallScenario event sequence through the service
+// must end on exactly the clusters the one-shot batch pipeline computes
+// — byte-identical E/P/M memberships and identical B partitions — at
+// epoch size 1 (rebuild on every pending instance), 64, and "all"
+// (EpochSize=0, single epoch at Flush).
+func TestReplayMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the SmallScenario three times")
+	}
+	sc := core.SmallScenario()
+	batch, err := core.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := batch.Dataset.Events()
+	bEvents, bSamples, bExec, bE, bP, bM, bB := batch.Counts()
+
+	for _, epochSize := range []int{1, 64, 0} {
+		cfg := stream.Config{
+			EpochSize:  epochSize,
+			Thresholds: sc.Thresholds,
+			BCluster:   sc.Enrichment.BCluster,
+		}
+		// The batch run's own enrichment pipeline: execution randomness
+		// derives from the sample hash, so re-executing streamed samples
+		// reproduces the batch profiles exactly.
+		svc, err := stream.New(cfg, batch.Pipeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stream.Replay(context.Background(), svc, events, 97); err != nil {
+			t.Fatal(err)
+		}
+
+		gEvents, gSamples, gExec, gE, gP, gM, gB := svc.Counts()
+		if gEvents != bEvents || gSamples != bSamples || gExec != bExec ||
+			gE != bE || gP != bP || gM != bM || gB != bB {
+			t.Fatalf("epoch=%d: counts (%d,%d,%d,%d,%d,%d,%d) != batch (%d,%d,%d,%d,%d,%d,%d)",
+				epochSize, gEvents, gSamples, gExec, gE, gP, gM, gB,
+				bEvents, bSamples, bExec, bE, bP, bM, bB)
+		}
+
+		e, _ := svc.EPMClustering("epsilon")
+		p, _ := svc.EPMClustering("pi")
+		m, _ := svc.EPMClustering("mu")
+		if !reflect.DeepEqual(e.Clusters, batch.E.Clusters) {
+			t.Fatalf("epoch=%d: epsilon clusters diverge from batch", epochSize)
+		}
+		if !reflect.DeepEqual(p.Clusters, batch.P.Clusters) {
+			t.Fatalf("epoch=%d: pi clusters diverge from batch", epochSize)
+		}
+		if !reflect.DeepEqual(m.Clusters, batch.M.Clusters) {
+			t.Fatalf("epoch=%d: mu clusters diverge from batch", epochSize)
+		}
+		if !reflect.DeepEqual(bMembers(svc.BResult()), bMembers(batch.B)) {
+			t.Fatalf("epoch=%d: B partition diverges from batch", epochSize)
+		}
+
+		st := svc.Stats()
+		if st.EnrichErrors != 0 || st.StaleProfiles != 0 || st.Rejected != 0 || st.Duplicates != 0 {
+			t.Fatalf("epoch=%d: unclean replay: %+v", epochSize, st)
+		}
+		if st.Executed != bExec {
+			t.Fatalf("epoch=%d: executed %d samples, batch executed %d", epochSize, st.Executed, bExec)
+		}
+		svc.Close()
+	}
+}

@@ -1,0 +1,32 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Replay feeds a recorded event sequence through the service in batches
+// of batchSize (0 selects 64) and flushes, leaving the service in the
+// state a batch pipeline run over the same events would produce. It is
+// the convergence harness used by the equivalence tests and by
+// `landscaped -replay`.
+func Replay(ctx context.Context, svc *Service, events []dataset.Event, batchSize int) error {
+	if svc == nil {
+		return fmt.Errorf("stream: replay into nil service")
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	for start := 0; start < len(events); start += batchSize {
+		end := start + batchSize
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := svc.Ingest(ctx, events[start:end]); err != nil {
+			return fmt.Errorf("stream: replay batch at event %d: %w", start, err)
+		}
+	}
+	return svc.Flush(ctx)
+}

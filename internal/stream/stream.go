@@ -1,0 +1,848 @@
+// Package stream implements the incremental landscape service: a
+// long-running ingestor of attack events that keeps live E/P/M/B cluster
+// state, the streaming counterpart of the one-shot batch pipeline in
+// internal/core.
+//
+// Events arrive in batches on a bounded queue (backpressure: Ingest
+// blocks while the queue is full) and are applied by a single worker.
+// Each EPM dimension classifies new instances against its current
+// pattern set via the Classify fast path; instances no pattern matches
+// accumulate in a pending pool that, once it reaches Config.EpochSize,
+// triggers an epoch — a full re-run of invariant and pattern discovery
+// over every instance seen so far. Cluster identity survives epochs:
+// every pattern key is assigned a stable cluster ID on first appearance
+// and keeps it forever, so queries never see an ID change meaning.
+//
+// New samples are labeled and sandbox-executed on first sight and parked
+// in the incremental B-clusterer (bcluster.Incremental), which probes
+// them against the LSH index at the next verification epoch. Because the
+// per-sample execution randomness derives from the sample hash and the
+// B partition is arrival-order independent, a replay of a batch dataset
+// converges on exactly the batch pipeline's clusters — byte-identical
+// memberships after Flush, at any epoch size (see the equivalence test).
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bcluster"
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/epm"
+)
+
+// Enricher supplies the per-sample enrichment the service performs on
+// first sight of a sample. *enrich.Pipeline implements it; benchmarks
+// substitute synthetic implementations.
+type Enricher interface {
+	// LabelSample assigns AV labels to a newly seen sample.
+	LabelSample(s *dataset.Sample) error
+	// ExecuteSample runs an executable sample in the sandbox at its
+	// first-seen instant and returns its behavioral profile and whether
+	// the run degraded.
+	ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error)
+}
+
+// Config parameterizes the service.
+type Config struct {
+	// EpochSize is the pending-pool size that triggers an EPM rebuild
+	// epoch (per dimension) and a B verification epoch; 0 defers every
+	// epoch to Flush ("epoch size = all").
+	EpochSize int
+	// QueueDepth bounds the ingest queue, in batches; Ingest blocks while
+	// the queue is full. 0 selects 16.
+	QueueDepth int
+	// Parallelism bounds the EPM rebuild workers and the sandbox
+	// executions per batch; 0 selects GOMAXPROCS.
+	Parallelism int
+	// Thresholds configure EPM invariant discovery.
+	Thresholds epm.Thresholds
+	// BCluster configures the incremental behavioral clustering.
+	BCluster bcluster.Config
+}
+
+// DefaultConfig mirrors the batch pipeline's analysis parameters with a
+// serving-friendly epoch size.
+func DefaultConfig() Config {
+	return Config{
+		EpochSize:  256,
+		QueueDepth: 16,
+		Thresholds: epm.DefaultThresholds(),
+		BCluster:   bcluster.DefaultConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.EpochSize < 0 {
+		return fmt.Errorf("stream: EpochSize %d is negative", c.EpochSize)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("stream: QueueDepth %d is negative", c.QueueDepth)
+	}
+	if err := c.Thresholds.Validate(); err != nil {
+		return err
+	}
+	return c.BCluster.Validate()
+}
+
+// ErrClosed is returned by Ingest and Flush after Close.
+var ErrClosed = errors.New("stream: service closed")
+
+// request is one unit of ingest-worker work.
+type request struct {
+	events []dataset.Event
+	flush  bool
+	done   chan struct{}
+}
+
+// Service is the streaming landscape service. Construct with New, feed
+// with Ingest, snapshot with the query methods, stop with Close.
+type Service struct {
+	cfg      Config
+	enricher Enricher
+
+	in         chan request
+	closed     chan struct{}
+	workerDone chan struct{}
+	closeOnce  sync.Once
+	prodMu     sync.Mutex
+	prodWG     sync.WaitGroup
+	isClosed   bool
+
+	mu   sync.RWMutex
+	ds   *dataset.Dataset
+	dims [3]*dimension
+	b    *bcluster.Incremental
+
+	events        int
+	rejected      int
+	duplicates    int
+	executed      int
+	degraded      int
+	enrichErrors  int
+	staleProfiles int
+	flushes       int
+	maxQueue      int
+	lastError     string
+}
+
+// New starts a service. The enricher must resolve every sample the
+// ingested events reference; events whose samples it rejects are
+// counted, kept in the event dataset, and excluded from B-clustering.
+func New(cfg Config, enricher Enricher) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if enricher == nil {
+		return nil, fmt.Errorf("stream: nil enricher")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	b, err := bcluster.NewIncremental(cfg.BCluster)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:        cfg,
+		enricher:   enricher,
+		in:         make(chan request, cfg.QueueDepth),
+		closed:     make(chan struct{}),
+		workerDone: make(chan struct{}),
+		ds:         dataset.New(),
+		b:          b,
+	}
+	for i, schema := range []epm.Schema{dataset.EpsilonSchema, dataset.PiSchema, dataset.MuSchema} {
+		s.dims[i] = newDimension(schema, cfg.Thresholds, cfg.Parallelism)
+	}
+	go s.worker()
+	return s, nil
+}
+
+// Ingest enqueues one batch of events and returns once the batch is
+// queued (not yet applied). It blocks while the queue is full — that is
+// the backpressure bound on producer memory — and fails only when the
+// context ends or the service closes. Per-event problems (duplicate IDs,
+// unresolvable samples) do not fail the batch; they are counted in
+// Stats.
+func (s *Service) Ingest(ctx context.Context, events []dataset.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	return s.send(ctx, request{events: append([]dataset.Event(nil), events...)})
+}
+
+// Flush forces an epoch everywhere: it waits for every previously queued
+// batch, rebuilds any EPM dimension that grew since its last epoch, and
+// verifies every parked B sample. After Flush the cluster state equals
+// the batch pipeline's over the same events.
+func (s *Service) Flush(ctx context.Context) error {
+	req := request{flush: true, done: make(chan struct{})}
+	if err := s.send(ctx, req); err != nil {
+		return err
+	}
+	select {
+	case <-req.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// send registers the caller as a producer and enqueues the request.
+func (s *Service) send(ctx context.Context, req request) error {
+	s.prodMu.Lock()
+	if s.isClosed {
+		s.prodMu.Unlock()
+		return ErrClosed
+	}
+	s.prodWG.Add(1)
+	s.prodMu.Unlock()
+	defer s.prodWG.Done()
+	select {
+	case s.in <- req:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.closed:
+		return ErrClosed
+	}
+}
+
+// Close stops the service: new producers are refused, blocked producers
+// unblock with ErrClosed, queued batches are applied, and the worker
+// exits. Close is idempotent and safe to call concurrently.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.prodMu.Lock()
+		s.isClosed = true
+		s.prodMu.Unlock()
+		close(s.closed)
+		s.prodWG.Wait()
+		close(s.in)
+		<-s.workerDone
+	})
+}
+
+// worker is the single mutator: it applies batches in arrival order, so
+// all cluster state evolves deterministically in the event sequence.
+func (s *Service) worker() {
+	defer close(s.workerDone)
+	for req := range s.in {
+		depth := len(s.in) + 1
+		if req.flush {
+			s.applyFlush()
+		} else {
+			s.applyBatch(req.events, depth)
+		}
+		if req.done != nil {
+			close(req.done)
+		}
+	}
+}
+
+// applyBatch ingests one batch: events and instance projections under
+// the write lock, sandbox executions outside it (they are the slow part
+// and mutate nothing the queries read), then profiles, B additions, and
+// epoch triggers under the lock again.
+func (s *Service) applyBatch(events []dataset.Event, depth int) {
+	s.mu.Lock()
+	if depth > s.maxQueue {
+		s.maxQueue = depth
+	}
+	var newExec []*dataset.Sample  // executable samples first seen in this batch
+	var reExec []*dataset.Sample   // parked samples whose first-seen moved backwards
+	seenNew := make(map[string]bool) // MD5s in newExec
+	for _, e := range events {
+		if err := s.validateEvent(e); err != nil {
+			s.rejected++
+			s.lastError = err.Error()
+			continue
+		}
+		var prev *dataset.Sample
+		var prevFirst time.Time
+		if e.HasSample() {
+			if prev = s.ds.Sample(e.Sample.MD5); prev != nil {
+				prevFirst = prev.FirstSeen
+			}
+		}
+		if err := s.ds.AddEvent(e); err != nil {
+			// validateEvent screened everything AddEvent checks except
+			// ID reuse, the streaming world's at-least-once redelivery.
+			s.duplicates++
+			continue
+		}
+		s.events++
+		s.dims[0].add(e.EpsilonInstance())
+		s.dims[1].add(e.PiInstance())
+		if in, ok := e.MuInstance(); ok {
+			s.dims[2].add(in)
+		}
+		s.epochCheck()
+		if !e.HasSample() {
+			continue
+		}
+		smp := s.ds.Sample(e.Sample.MD5)
+		if prev == nil && !seenNew[smp.MD5] {
+			if err := s.enricher.LabelSample(smp); err != nil {
+				s.enrichErrors++
+				s.lastError = err.Error()
+				continue
+			}
+			if smp.Executable {
+				newExec = append(newExec, smp)
+				seenNew[smp.MD5] = true
+			}
+		} else if prev != nil && smp.Executable && smp.FirstSeen.Before(prevFirst) && !seenNew[smp.MD5] {
+			// A late event moved the sample's first-seen instant
+			// backwards; its profile (a function of that instant) is
+			// stale. Re-execute if the B-clusterer still has it parked.
+			reExec = append(reExec, smp)
+		}
+	}
+	s.mu.Unlock()
+
+	// Sandbox executions: slow, read-only with respect to query-visible
+	// state, deterministic per sample. Run them on a bounded pool.
+	type outcome struct {
+		profile  *behavior.Profile
+		degraded bool
+		err      error
+	}
+	run := func(samples []*dataset.Sample) []outcome {
+		outs := make([]outcome, len(samples))
+		parallelEach(len(samples), s.cfg.Parallelism, func(i int) {
+			p, d, err := s.enricher.ExecuteSample(samples[i])
+			outs[i] = outcome{profile: p, degraded: d, err: err}
+		})
+		return outs
+	}
+	newOuts := run(newExec)
+	reOuts := run(reExec)
+
+	s.mu.Lock()
+	for i, smp := range newExec {
+		if newOuts[i].err != nil {
+			s.enrichErrors++
+			s.lastError = newOuts[i].err.Error()
+			continue
+		}
+		s.executed++
+		if newOuts[i].degraded {
+			s.degraded++
+		}
+		smp.Profile = newOuts[i].profile.Features()
+		if err := s.b.Add(bcluster.Input{ID: smp.MD5, Profile: newOuts[i].profile}); err != nil {
+			s.enrichErrors++
+			s.lastError = err.Error()
+			continue
+		}
+		s.epochCheck()
+	}
+	for i, smp := range reExec {
+		if reOuts[i].err != nil {
+			s.enrichErrors++
+			s.lastError = reOuts[i].err.Error()
+			continue
+		}
+		s.executed++
+		if reOuts[i].degraded {
+			s.degraded++
+		}
+		smp.Profile = reOuts[i].profile.Features()
+		if err := s.b.Amend(smp.MD5, reOuts[i].profile); err != nil {
+			// Already verified: its links are frozen. The refreshed
+			// profile is recorded on the sample; the membership keeps
+			// the original execution, and we surface the divergence.
+			s.staleProfiles++
+			s.lastError = err.Error()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// epochCheck fires any epoch whose pending pool reached the threshold.
+// Callers hold the write lock.
+func (s *Service) epochCheck() {
+	if s.cfg.EpochSize <= 0 {
+		return
+	}
+	for _, d := range s.dims {
+		if d.pendingCount >= s.cfg.EpochSize {
+			s.rebuild(d)
+		}
+	}
+	if s.b.Pending() >= s.cfg.EpochSize {
+		s.b.Verify()
+	}
+}
+
+// applyFlush forces the final epochs.
+func (s *Service) applyFlush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.dims {
+		if len(d.instances) > d.builtLen {
+			s.rebuild(d)
+		}
+	}
+	s.b.Verify()
+	s.flushes++
+}
+
+// rebuild runs one EPM epoch for the dimension. Callers hold the write
+// lock. A discovery error (impossible for instances that passed
+// validateEvent) keeps the previous epoch's clustering.
+func (s *Service) rebuild(d *dimension) {
+	if err := d.rebuild(); err != nil {
+		s.lastError = err.Error()
+	}
+}
+
+// validateEvent screens an event for the invariants the EPM engine
+// enforces, so a malformed event is rejected at the door instead of
+// poisoning a later epoch rebuild.
+func (s *Service) validateEvent(e dataset.Event) error {
+	if e.ID == "" {
+		return fmt.Errorf("stream: event with empty ID")
+	}
+	if e.Attacker == "" || e.Sensor == "" {
+		return fmt.Errorf("stream: event %s needs attacker and sensor", e.ID)
+	}
+	check := func(in epm.Instance) error {
+		for _, v := range in.Values {
+			if v == epm.Wildcard {
+				return fmt.Errorf("stream: event %s uses reserved value %q", e.ID, epm.Wildcard)
+			}
+		}
+		return nil
+	}
+	if err := check(e.EpsilonInstance()); err != nil {
+		return err
+	}
+	if err := check(e.PiInstance()); err != nil {
+		return err
+	}
+	if in, ok := e.MuInstance(); ok {
+		return check(in)
+	}
+	return nil
+}
+
+// parallelEach runs fn(i) for i in [0,n) on a bounded worker pool; with
+// workers <= 1 it runs inline.
+func parallelEach(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// dimension is the incremental state of one EPM dimension.
+type dimension struct {
+	schema      epm.Schema
+	thresholds  epm.Thresholds
+	parallelism int
+
+	instances    []epm.Instance
+	clustering   *epm.Clustering // nil before the first epoch
+	epoch        int
+	builtLen     int // len(instances) at the last epoch
+	pendingCount int
+
+	stable      map[string]int // pattern key -> stable cluster ID
+	nextStable  int
+	assign      map[string]int // instance ID -> stable cluster ID
+	provisional map[int]int    // stable ID -> members classified since the last epoch
+}
+
+func newDimension(schema epm.Schema, th epm.Thresholds, parallelism int) *dimension {
+	return &dimension{
+		schema:      schema,
+		thresholds:  th,
+		parallelism: parallelism,
+		stable:      make(map[string]int),
+		assign:      make(map[string]int),
+		provisional: make(map[int]int),
+	}
+}
+
+// add records one instance: classified provisionally when the current
+// pattern set matches it, pooled as pending otherwise.
+func (d *dimension) add(in epm.Instance) {
+	d.instances = append(d.instances, in)
+	if d.clustering != nil {
+		if p, _, ok := d.clustering.Classify(in.Values); ok {
+			sid := d.stableOf(p.Key())
+			d.assign[in.ID] = sid
+			d.provisional[sid]++
+			return
+		}
+	}
+	d.pendingCount++
+}
+
+// rebuild runs one epoch: full invariant and pattern discovery over
+// every instance, then a stable remap of the new clusters.
+func (d *dimension) rebuild() error {
+	c, err := epm.RunParallel(d.schema, d.instances, d.thresholds, d.parallelism)
+	if err != nil {
+		return err
+	}
+	d.clustering = c
+	d.epoch++
+	d.builtLen = len(d.instances)
+	d.pendingCount = 0
+	d.assign = make(map[string]int, len(d.instances))
+	clear(d.provisional)
+	// Clusters are visited largest-first, so fresh patterns take stable
+	// IDs in that (deterministic) order; patterns seen in any earlier
+	// epoch keep the ID they were born with.
+	for i := range c.Clusters {
+		sid := d.stableOf(c.Clusters[i].Pattern.Key())
+		for _, id := range c.Clusters[i].InstanceIDs {
+			d.assign[id] = sid
+		}
+	}
+	return nil
+}
+
+// stableOf resolves (or mints) the stable cluster ID of a pattern key.
+func (d *dimension) stableOf(key string) int {
+	if id, ok := d.stable[key]; ok {
+		return id
+	}
+	id := d.nextStable
+	d.nextStable++
+	d.stable[key] = id
+	return id
+}
+
+// clusterViews snapshots the dimension's clusters.
+func (d *dimension) clusterViews() []EPMClusterView {
+	if d.clustering == nil {
+		return nil
+	}
+	out := make([]EPMClusterView, 0, len(d.clustering.Clusters))
+	for i := range d.clustering.Clusters {
+		cl := &d.clustering.Clusters[i]
+		sid := d.stable[cl.Pattern.Key()]
+		out = append(out, EPMClusterView{
+			StableID:  sid,
+			EpochID:   cl.ID,
+			Pattern:   cl.Pattern.Values,
+			Size:      cl.Size() + d.provisional[sid],
+			Attackers: cl.Attackers,
+			Sensors:   cl.Sensors,
+		})
+	}
+	return out
+}
+
+// Dimension name constants accepted by the query methods.
+const (
+	DimEpsilon = "epsilon"
+	DimPi      = "pi"
+	DimMu      = "mu"
+)
+
+// dim resolves a dimension name ("epsilon"/"pi"/"mu" or "e"/"p"/"m").
+func (s *Service) dim(name string) (*dimension, error) {
+	switch name {
+	case DimEpsilon, "e":
+		return s.dims[0], nil
+	case DimPi, "p":
+		return s.dims[1], nil
+	case DimMu, "m":
+		return s.dims[2], nil
+	}
+	return nil, fmt.Errorf("stream: unknown dimension %q", name)
+}
+
+// EPMClusterView is one cluster of an EPM dimension snapshot.
+type EPMClusterView struct {
+	// StableID survives epochs: a pattern keeps its ID forever.
+	StableID int `json:"stable_id"`
+	// EpochID is the dense largest-first index within the current epoch.
+	EpochID int `json:"epoch_id"`
+	// Pattern is the invariant tuple (wildcards included).
+	Pattern []string `json:"pattern"`
+	// Size counts epoch members plus provisional classifications since.
+	Size int `json:"size"`
+	// Attackers and Sensors count distinct sources among epoch members.
+	Attackers int `json:"attackers"`
+	Sensors   int `json:"sensors"`
+}
+
+// EPMView is a snapshot of one EPM dimension.
+type EPMView struct {
+	Dimension string           `json:"dimension"`
+	Epoch     int              `json:"epoch"`
+	Instances int              `json:"instances"`
+	Pending   int              `json:"pending"`
+	Clusters  []EPMClusterView `json:"clusters"`
+}
+
+// EPMClusters snapshots the named dimension ("epsilon"/"pi"/"mu" or
+// single-letter aliases).
+func (s *Service) EPMClusters(name string) (EPMView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, err := s.dim(name)
+	if err != nil {
+		return EPMView{}, err
+	}
+	return EPMView{
+		Dimension: d.schema.Dimension,
+		Epoch:     d.epoch,
+		Instances: len(d.instances),
+		Pending:   d.pendingCount,
+		Clusters:  d.clusterViews(),
+	}, nil
+}
+
+// BClusterView is one behavioral cluster in a snapshot.
+type BClusterView struct {
+	// ID is dense largest-first within this snapshot; Representative —
+	// the lexicographically smallest member MD5 — is the stable handle.
+	ID             int    `json:"id"`
+	Representative string `json:"representative"`
+	Size           int    `json:"size"`
+}
+
+// BView is a snapshot of the behavioral clustering.
+type BView struct {
+	Samples  int            `json:"samples"`
+	Pending  int            `json:"pending"`
+	Epochs   int            `json:"epochs"`
+	Clusters []BClusterView `json:"clusters"`
+}
+
+// BClusters snapshots the behavioral clustering; parked samples appear
+// as singletons.
+func (s *Service) BClusters() BView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := s.b.Result()
+	out := make([]BClusterView, len(res.Clusters))
+	for i, c := range res.Clusters {
+		out[i] = BClusterView{ID: c.ID, Representative: c.Members[0], Size: c.Size()}
+	}
+	return BView{
+		Samples:  s.b.Samples(),
+		Pending:  s.b.Pending(),
+		Epochs:   s.b.Epochs(),
+		Clusters: out,
+	}
+}
+
+// SampleView is the per-sample query result.
+type SampleView struct {
+	MD5             string    `json:"md5"`
+	FirstSeen       time.Time `json:"first_seen"`
+	Events          int       `json:"events"`
+	Executable      bool      `json:"executable"`
+	AVLabel         string    `json:"av_label,omitempty"`
+	ProfileFeatures int       `json:"profile_features"`
+	// BPending reports the sample is parked awaiting verification.
+	BPending bool `json:"b_pending"`
+	// BRepresentative and BSize describe the sample's current B-cluster.
+	BRepresentative string `json:"b_representative,omitempty"`
+	BSize           int    `json:"b_size"`
+	// MClusters lists the stable μ-cluster IDs of the sample's events.
+	MClusters []int `json:"m_clusters"`
+}
+
+// Sample queries one sample by MD5.
+func (s *Service) Sample(md5 string) (SampleView, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	smp := s.ds.Sample(md5)
+	if smp == nil {
+		return SampleView{}, false
+	}
+	v := SampleView{
+		MD5:             smp.MD5,
+		FirstSeen:       smp.FirstSeen,
+		Events:          smp.Events,
+		Executable:      smp.Executable,
+		AVLabel:         smp.AVLabel,
+		ProfileFeatures: len(smp.Profile),
+	}
+	if s.b.Has(md5) {
+		res := s.b.Result()
+		if i := res.ClusterOf(md5); i >= 0 {
+			v.BRepresentative = res.Clusters[i].Members[0]
+			v.BSize = res.Clusters[i].Size()
+		}
+		v.BPending = s.b.Pending() > 0 && v.BSize == 1
+	}
+	mSet := map[int]bool{}
+	for _, e := range s.ds.EventsOfSample(md5) {
+		if sid, ok := s.dims[2].assign[e.ID]; ok {
+			mSet[sid] = true
+		}
+	}
+	v.MClusters = make([]int, 0, len(mSet))
+	for sid := range mSet {
+		v.MClusters = append(v.MClusters, sid)
+	}
+	sort.Ints(v.MClusters)
+	return v, true
+}
+
+// DimStats summarizes one EPM dimension for Stats.
+type DimStats struct {
+	Epoch     int `json:"epoch"`
+	Clusters  int `json:"clusters"`
+	Instances int `json:"instances"`
+	Pending   int `json:"pending"`
+}
+
+// BStats summarizes the behavioral clustering for Stats.
+type BStats struct {
+	Samples        int `json:"samples"`
+	Pending        int `json:"pending"`
+	Epochs         int `json:"epochs"`
+	Clusters       int `json:"clusters"`
+	CandidatePairs int `json:"candidate_pairs"`
+	Links          int `json:"links"`
+}
+
+// Stats is the service-wide counter snapshot.
+type Stats struct {
+	Events            int      `json:"events"`
+	Rejected          int      `json:"rejected"`
+	Duplicates        int      `json:"duplicates"`
+	Samples           int      `json:"samples"`
+	ExecutableSamples int      `json:"executable_samples"`
+	Executed          int      `json:"executed"`
+	Degraded          int      `json:"degraded"`
+	EnrichErrors      int      `json:"enrich_errors"`
+	StaleProfiles     int      `json:"stale_profiles"`
+	Flushes           int      `json:"flushes"`
+	LastError         string   `json:"last_error,omitempty"`
+	QueueCap          int      `json:"queue_cap"`
+	QueueDepth        int      `json:"queue_depth"`
+	MaxQueueDepth     int      `json:"max_queue_depth"`
+	Epsilon           DimStats `json:"epsilon"`
+	Pi                DimStats `json:"pi"`
+	Mu                DimStats `json:"mu"`
+	B                 BStats   `json:"b"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dimStats := func(d *dimension) DimStats {
+		n := 0
+		if d.clustering != nil {
+			n = len(d.clustering.Clusters)
+		}
+		return DimStats{Epoch: d.epoch, Clusters: n, Instances: len(d.instances), Pending: d.pendingCount}
+	}
+	bs := s.b.Stats()
+	return Stats{
+		Events:            s.events,
+		Rejected:          s.rejected,
+		Duplicates:        s.duplicates,
+		Samples:           s.ds.SampleCount(),
+		ExecutableSamples: s.ds.ExecutableSampleCount(),
+		Executed:          s.executed,
+		Degraded:          s.degraded,
+		EnrichErrors:      s.enrichErrors,
+		StaleProfiles:     s.staleProfiles,
+		Flushes:           s.flushes,
+		LastError:         s.lastError,
+		QueueCap:          cap(s.in),
+		QueueDepth:        len(s.in),
+		MaxQueueDepth:     s.maxQueue,
+		Epsilon:           dimStats(s.dims[0]),
+		Pi:                dimStats(s.dims[1]),
+		Mu:                dimStats(s.dims[2]),
+		B: BStats{
+			Samples:        s.b.Samples(),
+			Pending:        s.b.Pending(),
+			Epochs:         s.b.Epochs(),
+			Clusters:       s.b.Components(),
+			CandidatePairs: bs.CandidatePairs,
+			Links:          bs.Links,
+		},
+	}
+}
+
+// Counts mirrors core.Results.Counts for convergence checks: events,
+// samples, executable samples, and the E/P/M/B cluster counts.
+func (s *Service) Counts() (events, samples, executable, e, p, m, b int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := func(d *dimension) int {
+		if d.clustering == nil {
+			return 0
+		}
+		return len(d.clustering.Clusters)
+	}
+	return s.ds.EventCount(), s.ds.SampleCount(), s.ds.ExecutableSampleCount(),
+		n(s.dims[0]), n(s.dims[1]), n(s.dims[2]), s.b.Components()
+}
+
+// EPMClustering exposes the named dimension's current epoch clustering
+// for equivalence tests and reporting. The returned clustering is the
+// live object: callers must treat it as read-only and must not retain it
+// across concurrent ingestion.
+func (s *Service) EPMClustering(name string) (*epm.Clustering, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, err := s.dim(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.clustering, nil
+}
+
+// BResult assembles the current behavioral partition (see
+// bcluster.Incremental.Result).
+func (s *Service) BResult() *bcluster.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.Result()
+}
+
+// Dataset exposes the accumulated dataset for reporting after ingestion
+// has stopped; it must not be used concurrently with live producers.
+func (s *Service) Dataset() *dataset.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ds
+}

@@ -1,0 +1,212 @@
+package stream_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/epm"
+	"repro/internal/pe"
+	"repro/internal/stream"
+)
+
+// fakeEnricher labels every sample and returns one synthetic feature per
+// truth variant, so samples of the same variant cluster together.
+type fakeEnricher struct{}
+
+func (fakeEnricher) LabelSample(s *dataset.Sample) error {
+	s.AVLabel = "Fake." + s.TruthVariant
+	return nil
+}
+
+func (fakeEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
+	p := behavior.NewProfile()
+	for k := 0; k < 10; k++ {
+		p.Add(fmt.Sprintf("%s-beh%d", s.TruthVariant, k))
+	}
+	return p, false, nil
+}
+
+// testEvent builds a well-formed event; variant "" omits the sample.
+func testEvent(i int, variant string) dataset.Event {
+	e := dataset.Event{
+		ID:          fmt.Sprintf("ev%04d", i),
+		Time:        time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Minute),
+		Attacker:    fmt.Sprintf("10.0.%d.%d", i%5, i%13),
+		Sensor:      fmt.Sprintf("s%d", i%7),
+		FSMPath:     fmt.Sprintf("fsm-%d", i%3),
+		DestPort:    445,
+		Protocol:    "ftp",
+		Filename:    "a.exe",
+		PayloadPort: 33333,
+		Interaction: "push",
+	}
+	if variant != "" {
+		e.Sample = pe.Features{
+			MD5:         fmt.Sprintf("md5-%s-%d", variant, i%4),
+			IsPE:        true,
+			Magic:       pe.MagicPEGUI,
+			NumSections: 3,
+		}
+		e.DownloadOutcome = "ok"
+		e.TruthVariant = variant
+	}
+	return e
+}
+
+func newTestService(t *testing.T, cfg stream.Config) *stream.Service {
+	t.Helper()
+	svc, err := stream.New(cfg, fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func testConfig(epochSize int) stream.Config {
+	cfg := stream.DefaultConfig()
+	cfg.EpochSize = epochSize
+	cfg.QueueDepth = 2
+	return cfg
+}
+
+func TestServiceIngestAndStats(t *testing.T) {
+	svc := newTestService(t, testConfig(8))
+	ctx := context.Background()
+	var events []dataset.Event
+	for i := 0; i < 60; i++ {
+		events = append(events, testEvent(i, fmt.Sprintf("v%d", i%3)))
+	}
+	if err := stream.Replay(ctx, svc, events, 10); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Events != 60 || st.Rejected != 0 || st.Duplicates != 0 {
+		t.Fatalf("events=%d rejected=%d duplicates=%d", st.Events, st.Rejected, st.Duplicates)
+	}
+	if st.Samples != 12 || st.Executed != 12 {
+		t.Fatalf("samples=%d executed=%d, want 12 each", st.Samples, st.Executed)
+	}
+	if st.B.Clusters != 3 || st.B.Pending != 0 {
+		t.Fatalf("B clusters=%d pending=%d, want 3 clusters (one per variant)", st.B.Clusters, st.B.Pending)
+	}
+	if st.Epsilon.Instances != 60 || st.Epsilon.Epoch == 0 {
+		t.Fatalf("epsilon instances=%d epoch=%d", st.Epsilon.Instances, st.Epsilon.Epoch)
+	}
+	if st.Flushes != 1 || st.MaxQueueDepth < 1 {
+		t.Fatalf("flushes=%d maxQueueDepth=%d", st.Flushes, st.MaxQueueDepth)
+	}
+
+	view, err := svc.EPMClusters("epsilon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range view.Clusters {
+		total += c.Size
+	}
+	if total+view.Pending != 60 {
+		t.Fatalf("epsilon cluster sizes %d + pending %d != 60", total, view.Pending)
+	}
+	if _, err := svc.EPMClusters("bogus"); err == nil {
+		t.Fatal("unknown dimension must error")
+	}
+
+	bv := svc.BClusters()
+	if len(bv.Clusters) != 3 {
+		t.Fatalf("BClusters = %d, want 3", len(bv.Clusters))
+	}
+
+	sv, ok := svc.Sample("md5-v0-0")
+	if !ok {
+		t.Fatal("known sample not found")
+	}
+	if !sv.Executable || sv.AVLabel != "Fake.v0" || sv.BSize != 4 {
+		t.Fatalf("sample view %+v", sv)
+	}
+	if _, ok := svc.Sample("nope"); ok {
+		t.Fatal("unknown sample must report !ok")
+	}
+}
+
+func TestServiceRejectsAndDuplicates(t *testing.T) {
+	svc := newTestService(t, testConfig(0))
+	ctx := context.Background()
+	good := testEvent(0, "v0")
+	bad := testEvent(1, "")
+	bad.Attacker = ""
+	wild := testEvent(2, "")
+	wild.FSMPath = epm.Wildcard
+	if err := svc.Ingest(ctx, []dataset.Event{good, bad, wild, good}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Events != 1 || st.Rejected != 2 || st.Duplicates != 1 {
+		t.Fatalf("events=%d rejected=%d duplicates=%d, want 1/2/1", st.Events, st.Rejected, st.Duplicates)
+	}
+	if st.LastError == "" {
+		t.Fatal("LastError should record the rejection")
+	}
+}
+
+func TestServiceCloseSemantics(t *testing.T) {
+	svc, err := stream.New(testConfig(0), fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := svc.Ingest(ctx, []dataset.Event{testEvent(0, "v0")}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close() // idempotent
+	// Queued work was applied before Close returned.
+	if st := svc.Stats(); st.Events != 1 {
+		t.Fatalf("events=%d after Close, want 1", st.Events)
+	}
+	if err := svc.Ingest(ctx, []dataset.Event{testEvent(1, "")}); err != stream.ErrClosed {
+		t.Fatalf("Ingest after Close = %v, want ErrClosed", err)
+	}
+	if err := svc.Flush(ctx); err != stream.ErrClosed {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestServiceIngestContextCancel(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.QueueDepth = 1
+	svc := newTestService(t, cfg)
+	// Saturate the queue so the next Ingest must block, then cancel.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	for i := 0; ; i++ {
+		err := svc.Ingest(ctx, []dataset.Event{testEvent(i, "")})
+		if err == context.DeadlineExceeded {
+			return // blocked on a full queue and respected the context
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 100000 {
+			t.Skip("queue never filled; worker faster than producer")
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := stream.DefaultConfig()
+	bad.EpochSize = -1
+	if _, err := stream.New(bad, fakeEnricher{}); err == nil {
+		t.Fatal("negative EpochSize must error")
+	}
+	if _, err := stream.New(stream.DefaultConfig(), nil); err == nil {
+		t.Fatal("nil enricher must error")
+	}
+}
