@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json run-landscaped smoke-landscaped
+.PHONY: check vet test race bench bench-json run-landscaped smoke-landscaped smoke-crash
 
 check: vet test race
 
@@ -44,3 +44,25 @@ smoke-landscaped:
 	curl -sf http://127.0.0.1:18901/v1/stats | grep -q '"events": 705'; \
 	RC=$$?; kill -TERM $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
 	rm -f /tmp/landscaped-smoke; exit $$RC
+
+# Crash-recovery smoke: serve with a WAL, feed half the scenario,
+# SIGKILL the daemon mid-run, restart it from the WAL + checkpoint,
+# feed the rest, and assert the recovered daemon converged with the
+# batch pipeline. Mirrors the CI "Crash recovery smoke" step.
+smoke-crash:
+	go build -o /tmp/landscaped-crash ./cmd/landscaped
+	rm -rf /tmp/landscaped-crash-wal && mkdir -p /tmp/landscaped-crash-wal
+	/tmp/landscaped-crash -small -addr 127.0.0.1:18902 \
+		-wal-dir /tmp/landscaped-crash-wal -checkpoint-every 2 & \
+	DPID=$$!; \
+	/tmp/landscaped-crash -small -replay-to http://127.0.0.1:18902 \
+		-batch 100 -replay-limit 350; RC=$$?; \
+	kill -KILL $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
+	if [ $$RC -ne 0 ]; then rm -rf /tmp/landscaped-crash /tmp/landscaped-crash-wal; exit $$RC; fi; \
+	/tmp/landscaped-crash -small -addr 127.0.0.1:18902 \
+		-wal-dir /tmp/landscaped-crash-wal -checkpoint-every 2 & \
+	DPID=$$!; \
+	/tmp/landscaped-crash -small -replay-to http://127.0.0.1:18902 \
+		-batch 100 -replay-offset 350 -replay-verify; \
+	RC=$$?; kill -TERM $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
+	rm -rf /tmp/landscaped-crash /tmp/landscaped-crash-wal; exit $$RC

@@ -73,9 +73,9 @@ type StreamEntry struct {
 	MaxQueueDepth int `json:"max_queue_depth"`
 	// EPMEpochs sums the ε/π/μ re-clustering epochs; BEpochs counts the
 	// B verification epochs; BClusters is the final partition size.
-	EPMEpochs int `json:"epm_epochs"`
-	BEpochs   int `json:"b_epochs"`
-	BClusters int `json:"b_clusters"`
+	EPMEpochs  int `json:"epm_epochs"`
+	BEpochs    int `json:"b_epochs"`
+	BClusters  int `json:"b_clusters"`
 	Gomaxprocs int `json:"gomaxprocs"`
 }
 

@@ -8,12 +8,21 @@
 // are the scenario's own — generate them with the same seed, e.g. by
 // replaying the simulated deployment into it.
 //
+// With -wal-dir the daemon is crash-safe: every accepted batch is
+// written to a write-ahead log before it is applied and the full state
+// is checkpointed periodically, so a SIGKILL loses at most the batches
+// that were queued but not yet logged. Recovery runs asynchronously at
+// startup — the listener comes up immediately and /readyz reports 503
+// until the checkpoint is loaded and the WAL suffix replayed.
+//
 // Usage:
 //
 //	landscaped [-addr :8844] [-seed N] [-small] [-scenario file.json]
 //	           [-epoch 256] [-queue 16] [-batch 64]
+//	           [-wal-dir DIR] [-checkpoint-every 64] [-wal-nosync]
 //	landscaped -replay [flags]          # in-process replay + convergence check
 //	landscaped -replay-to URL [flags]   # replay the scenario over HTTP
+//	           [-replay-offset N] [-replay-limit N] [-replay-verify]
 //
 // API:
 //
@@ -22,19 +31,24 @@
 //	GET  /v1/sample/{id}
 //	GET  /v1/stats
 //	POST /v1/flush         force an epoch everywhere
-//	GET  /healthz
+//	POST /v1/checkpoint    force a checkpoint (requires -wal-dir)
+//	GET  /healthz          liveness: the process is up
+//	GET  /readyz           readiness: recovery finished, queries answer
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -43,97 +57,189 @@ import (
 	"repro/internal/stream"
 )
 
+// maxIngestBody caps /v1/ingest request bodies; larger posts get 413.
+const maxIngestBody = 64 << 20
+
+type options struct {
+	addr         string
+	seed         uint64
+	small        bool
+	scenarioPath string
+	epoch        int
+	queue        int
+	batch        int
+	parallelism  int
+
+	walDir          string
+	checkpointEvery int
+	walNoSync       bool
+
+	replay       bool
+	replayTo     string
+	replayOffset int
+	replayLimit  int
+	replayVerify bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8844", "listen address")
-	seed := flag.Uint64("seed", 2010, "scenario seed")
-	small := flag.Bool("small", false, "use the reduced scenario")
-	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides -small)")
-	epoch := flag.Int("epoch", 256, "pending-pool size that triggers a re-clustering epoch (0 = only on flush)")
-	queue := flag.Int("queue", 16, "ingest queue depth, in batches")
-	batch := flag.Int("batch", 64, "replay batch size, in events")
-	parallelism := flag.Int("parallelism", 0, "worker bound for epochs and sandbox runs (0 = GOMAXPROCS)")
-	replay := flag.Bool("replay", false, "replay the scenario in-process, assert convergence with the batch pipeline, and exit")
-	replayTo := flag.String("replay-to", "", "replay the scenario's events over HTTP to a running landscaped at this base URL, then exit")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8844", "listen address")
+	flag.Uint64Var(&o.seed, "seed", 2010, "scenario seed")
+	flag.BoolVar(&o.small, "small", false, "use the reduced scenario")
+	flag.StringVar(&o.scenarioPath, "scenario", "", "scenario JSON file (overrides -small)")
+	flag.IntVar(&o.epoch, "epoch", 256, "pending-pool size that triggers a re-clustering epoch (0 = only on flush)")
+	flag.IntVar(&o.queue, "queue", 16, "ingest queue depth, in batches")
+	flag.IntVar(&o.batch, "batch", 64, "replay batch size, in events")
+	flag.IntVar(&o.parallelism, "parallelism", 0, "worker bound for epochs and sandbox runs (0 = GOMAXPROCS)")
+	flag.StringVar(&o.walDir, "wal-dir", "", "durability directory for the write-ahead log and checkpoints (empty = memory-only)")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 64, "checkpoint automatically after every N applied batches (0 = only on /v1/checkpoint)")
+	flag.BoolVar(&o.walNoSync, "wal-nosync", false, "skip fsyncs on the WAL and checkpoints (faster, loses the last writes on power failure)")
+	flag.BoolVar(&o.replay, "replay", false, "replay the scenario in-process, assert convergence with the batch pipeline, and exit")
+	flag.StringVar(&o.replayTo, "replay-to", "", "replay the scenario's events over HTTP to a running landscaped at this base URL, then exit")
+	flag.IntVar(&o.replayOffset, "replay-offset", 0, "with -replay-to: skip the first N events")
+	flag.IntVar(&o.replayLimit, "replay-limit", 0, "with -replay-to: send at most N events (0 = all)")
+	flag.BoolVar(&o.replayVerify, "replay-verify", false, "with -replay-to: after replaying, assert the daemon's stats converged with the batch pipeline")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *small, *scenarioPath, *epoch, *queue, *batch, *parallelism, *replay, *replayTo); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "landscaped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed uint64, small bool, scenarioPath string, epoch, queue, batch, parallelism int, replay bool, replayTo string) error {
+func run(o options) error {
 	scenario := core.DefaultScenario()
-	if small {
+	if o.small {
 		scenario = core.SmallScenario()
 	}
-	if scenarioPath != "" {
-		loaded, err := core.LoadScenarioFile(scenarioPath)
+	if o.scenarioPath != "" {
+		loaded, err := core.LoadScenarioFile(o.scenarioPath)
 		if err != nil {
 			return err
 		}
 		scenario = loaded
 	}
-	scenario.Seed = seed
-	if parallelism != 0 {
-		scenario.Parallelism = parallelism
+	scenario.Seed = o.seed
+	if o.parallelism != 0 {
+		scenario.Parallelism = o.parallelism
 	}
 	cfg := stream.Config{
-		EpochSize:   epoch,
-		QueueDepth:  queue,
-		Parallelism: parallelism,
+		EpochSize:   o.epoch,
+		QueueDepth:  o.queue,
+		Parallelism: o.parallelism,
 		Thresholds:  scenario.Thresholds,
 		BCluster:    scenario.Enrichment.BCluster,
 	}
+	if o.walDir != "" {
+		cfg.Durability = stream.Durability{
+			Dir:             o.walDir,
+			CheckpointEvery: o.checkpointEvery,
+			NoSync:          o.walNoSync,
+		}
+	}
 
-	if replayTo != "" {
-		return replayOverHTTP(scenario, replayTo, batch)
+	if o.replayTo != "" {
+		return replayOverHTTP(scenario, o.replayTo, o.batch, o.replayOffset, o.replayLimit, o.replayVerify)
 	}
-	if replay {
-		return replayInProcess(scenario, cfg, batch)
+	if o.replay {
+		return replayInProcess(scenario, cfg, o.batch)
 	}
-	return serve(scenario, cfg, addr)
+	return serve(scenario, cfg, o.addr)
 }
 
 // serve hosts the service until SIGINT/SIGTERM, then shuts down
 // gracefully: the listener closes first, in-flight requests get a
-// bounded drain, and the service applies every queued batch before the
-// process exits.
+// bounded drain, the service applies every queued batch, and — when
+// durable — a final checkpoint lands before the process exits.
+//
+// The listener binds before the service exists so /healthz and /readyz
+// answer during a long recovery; every other endpoint returns 503
+// until the service is ready.
 func serve(scenario core.Scenario, cfg stream.Config, addr string) error {
-	_, _, pipe, err := core.Prepare(scenario)
+	var svcp atomic.Pointer[stream.Service]
+	server := &http.Server{
+		Handler:           newHandler(svcp.Load, maxIngestBody),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	svc, err := stream.New(cfg, pipe)
-	if err != nil {
-		return err
-	}
-
-	server := &http.Server{Addr: addr, Handler: newHandler(svc)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() { errc <- server.ListenAndServe() }()
-	fmt.Printf("landscaped: serving on %s (seed %d, epoch size %d)\n", addr, scenario.Seed, cfg.EpochSize)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	initErr := make(chan error, 1)
+	go func() {
+		start := time.Now()
+		_, _, pipe, err := core.Prepare(scenario)
+		if err != nil {
+			initErr <- err
+			return
+		}
+		svc, err := stream.New(cfg, pipe)
+		if err != nil {
+			initErr <- err
+			return
+		}
+		svcp.Store(svc)
+		st := svc.Stats()
+		fmt.Printf("landscaped: ready in %v (recovered %d WAL records)\n",
+			time.Since(start).Round(time.Millisecond), st.WAL.RecoveredRecords)
+		initErr <- nil
+	}()
+	fmt.Printf("landscaped: serving on %s (seed %d, epoch size %d, wal %q)\n",
+		addr, scenario.Seed, cfg.EpochSize, cfg.Durability.Dir)
+
+	shutdown := func() error {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := server.Shutdown(shutdownCtx)
+		if svc := svcp.Load(); svc != nil {
+			if cfg.Durability.Dir != "" {
+				if cerr := svc.Checkpoint(shutdownCtx); cerr != nil && err == nil {
+					err = fmt.Errorf("final checkpoint: %w", cerr)
+				}
+			}
+			svc.Close()
+		}
+		return err
+	}
 
 	select {
-	case err := <-errc:
-		svc.Close()
+	case err := <-serveErr:
+		if svc := svcp.Load(); svc != nil {
+			svc.Close()
+		}
 		return err
+	case err := <-initErr:
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("startup: %w", err)
+		}
+		// Ready; keep serving until a signal or server failure.
+		select {
+		case err := <-serveErr:
+			if svc := svcp.Load(); svc != nil {
+				svc.Close()
+			}
+			return err
+		case <-ctx.Done():
+		}
 	case <-ctx.Done():
 	}
 	fmt.Println("landscaped: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	shutdownErr := server.Shutdown(shutdownCtx)
-	svc.Close()
-	return shutdownErr
+	return shutdown()
 }
 
 // replayInProcess is the convergence gate: it runs the batch pipeline,
 // replays the same events through a fresh streaming service, and fails
-// unless the final cluster counts coincide.
+// unless the final clusters and accounting coincide.
 func replayInProcess(scenario core.Scenario, cfg stream.Config, batch int) error {
 	res, err := core.Run(scenario)
 	if err != nil {
@@ -144,9 +250,17 @@ func replayInProcess(scenario core.Scenario, cfg stream.Config, batch int) error
 		return err
 	}
 	defer svc.Close()
+	return convergeStream(svc, res, batch)
+}
+
+// convergeStream replays the batch run's events into the service and
+// asserts convergence. A mid-stream failure is reported as such — the
+// caller exits non-zero rather than printing a partial comparison.
+func convergeStream(svc *stream.Service, res *core.Results, batch int) error {
+	events := res.Dataset.Events()
 	start := time.Now()
-	if err := stream.Replay(context.Background(), svc, res.Dataset.Events(), batch); err != nil {
-		return err
+	if err := stream.Replay(context.Background(), svc, events, batch); err != nil {
+		return fmt.Errorf("replay failed mid-stream after a prefix of %d events: %w", len(events), err)
 	}
 	elapsed := time.Since(start)
 
@@ -160,6 +274,10 @@ func replayInProcess(scenario core.Scenario, cfg stream.Config, batch int) error
 	fmt.Printf("replay: %d batches of <=%d events in %v (%.0f events/s), %d epochs (e/p/m) + %d (b), max queue depth %d\n",
 		(bEvents+batch-1)/batch, batch, elapsed.Round(time.Millisecond),
 		float64(gEvents)/elapsed.Seconds(), st.Epsilon.Epoch+st.Pi.Epoch+st.Mu.Epoch, st.B.Epochs, st.MaxQueueDepth)
+	if st.Rejected != 0 || st.Duplicates != 0 || st.Retry.Quarantined != 0 {
+		return fmt.Errorf("unclean replay: %d rejected, %d duplicates, %d quarantined",
+			st.Rejected, st.Duplicates, st.Retry.Quarantined)
+	}
 	if gEvents != bEvents || gSamples != bSamples || gExec != bExec ||
 		gE != bE || gP != bP || gM != bM || gB != bB {
 		return fmt.Errorf("streaming replay diverged from the batch pipeline")
@@ -168,31 +286,43 @@ func replayInProcess(scenario core.Scenario, cfg stream.Config, batch int) error
 	return nil
 }
 
-// replayOverHTTP generates the scenario's events and posts them to a
-// running landscaped in batches, then flushes and prints the daemon's
-// stats. The daemon must host the same scenario (same seed), or its
-// enrichment pipeline will reject the samples.
-func replayOverHTTP(scenario core.Scenario, baseURL string, batch int) error {
+// replayOverHTTP generates the scenario's events and posts a window of
+// them to a running landscaped in batches, then flushes and prints the
+// daemon's stats. The daemon must host the same scenario (same seed),
+// or its enrichment pipeline will reject the samples. With verify set
+// (and the full event sequence delivered across however many feeder
+// runs), the daemon's stats must converge with the batch pipeline.
+func replayOverHTTP(scenario core.Scenario, baseURL string, batch, offset, limit int, verify bool) error {
 	_, sim, _, err := core.Prepare(scenario)
 	if err != nil {
 		return err
 	}
 	events := sim.Dataset.Events()
+	if offset < 0 || offset > len(events) {
+		return fmt.Errorf("-replay-offset %d out of range [0,%d]", offset, len(events))
+	}
+	window := events[offset:]
+	if limit > 0 && limit < len(window) {
+		window = window[:limit]
+	}
 	client := &http.Client{Timeout: 60 * time.Second}
 	if batch <= 0 {
 		batch = 64
 	}
-	for start := 0; start < len(events); start += batch {
+	if err := waitReady(client, baseURL, 60*time.Second); err != nil {
+		return err
+	}
+	for start := 0; start < len(window); start += batch {
 		end := start + batch
-		if end > len(events) {
-			end = len(events)
+		if end > len(window) {
+			end = len(window)
 		}
-		body, err := json.Marshal(events[start:end])
+		body, err := json.Marshal(window[start:end])
 		if err != nil {
 			return err
 		}
 		if err := post(client, baseURL+"/v1/ingest", body); err != nil {
-			return fmt.Errorf("ingest batch at event %d: %w", start, err)
+			return fmt.Errorf("ingest batch at event %d: %w", offset+start, err)
 		}
 	}
 	if err := post(client, baseURL+"/v1/flush", nil); err != nil {
@@ -203,12 +333,50 @@ func replayOverHTTP(scenario core.Scenario, baseURL string, batch int) error {
 		return err
 	}
 	defer resp.Body.Close()
-	stats, err := io.ReadAll(resp.Body)
+	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d events to %s\n%s\n", len(events), baseURL, stats)
+	fmt.Printf("replayed %d events (offset %d) to %s\n%s\n", len(window), offset, baseURL, raw)
+	if !verify {
+		return nil
+	}
+	var st stream.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("decoding daemon stats: %w", err)
+	}
+	res, err := core.Run(scenario)
+	if err != nil {
+		return err
+	}
+	bEvents, _, _, bE, bP, bM, bB := res.Counts()
+	if st.Events != bEvents || st.Epsilon.Clusters != bE || st.Pi.Clusters != bP ||
+		st.Mu.Clusters != bM || st.B.Clusters != bB {
+		return fmt.Errorf("daemon diverged from the batch pipeline: daemon %d events E=%d P=%d M=%d B=%d, batch %d events E=%d P=%d M=%d B=%d",
+			st.Events, st.Epsilon.Clusters, st.Pi.Clusters, st.Mu.Clusters, st.B.Clusters,
+			bEvents, bE, bP, bM, bB)
+	}
+	fmt.Println("converged: daemon matches the batch pipeline")
 	return nil
+}
+
+// waitReady polls /readyz until the daemon finished recovering.
+func waitReady(client *http.Client, baseURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s/readyz not ready after %v", baseURL, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 func post(client *http.Client, url string, body []byte) error {
@@ -225,18 +393,47 @@ func post(client *http.Client, url string, body []byte) error {
 	return nil
 }
 
-// newHandler builds the HTTP API over a service.
-func newHandler(svc *stream.Service) http.Handler {
+// newHandler builds the HTTP API. get returns nil until the service has
+// finished recovering; until then every service endpoint answers 503
+// while /healthz (liveness) stays 200.
+func newHandler(get func() *stream.Service, maxBody int64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, svc.Stats())
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if get() == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"status": "recovering"})
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ready"})
 	})
-	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+	// ready wraps a handler with the recovery gate.
+	ready := func(h func(svc *stream.Service, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			svc := get()
+			if svc == nil {
+				httpError(w, http.StatusServiceUnavailable, errors.New("service is recovering"))
+				return
+			}
+			h(svc, w, r)
+		}
+	}
+	mux.HandleFunc("GET /v1/stats", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, svc.Stats())
+	}))
+	mux.HandleFunc("POST /v1/ingest", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 		var events []dataset.Event
-		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&events); err != nil {
+		if err := json.NewDecoder(r.Body).Decode(&events); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes; split the batch", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding events: %w", err))
 			return
 		}
@@ -245,15 +442,22 @@ func newHandler(svc *stream.Service) http.Handler {
 			return
 		}
 		writeJSON(w, map[string]int{"queued": len(events)})
-	})
-	mux.HandleFunc("POST /v1/flush", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/flush", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
 		if err := svc.Flush(r.Context()); err != nil {
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		writeJSON(w, map[string]string{"status": "flushed"})
-	})
-	mux.HandleFunc("GET /v1/clusters/{dim}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/checkpoint", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		if err := svc.Checkpoint(r.Context()); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "checkpointed"})
+	}))
+	mux.HandleFunc("GET /v1/clusters/{dim}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
 		dim := r.PathValue("dim")
 		if dim == "b" {
 			writeJSON(w, svc.BClusters())
@@ -265,15 +469,15 @@ func newHandler(svc *stream.Service) http.Handler {
 			return
 		}
 		writeJSON(w, view)
-	})
-	mux.HandleFunc("GET /v1/sample/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/sample/{id}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
 		view, ok := svc.Sample(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sample %q", r.PathValue("id")))
 			return
 		}
 		writeJSON(w, view)
-	})
+	}))
 	return mux
 }
 

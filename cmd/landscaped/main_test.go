@@ -7,7 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/behavior"
 	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/enrich"
 	"repro/internal/stream"
 )
 
@@ -32,7 +35,7 @@ func TestHandlerEndToEnd(t *testing.T) {
 	}
 	defer svc.Close()
 
-	ts := httptest.NewServer(newHandler(svc))
+	ts := httptest.NewServer(newHandler(func() *stream.Service { return svc }, maxIngestBody))
 	defer ts.Close()
 
 	events := sim.Dataset.Events()
@@ -118,5 +121,135 @@ func TestHandlerEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed ingest: %s, want 400", resp.Status)
+	}
+}
+
+// nopEnricher satisfies stream.Enricher for handler-level tests that
+// never reach enrichment.
+type nopEnricher struct{}
+
+func (nopEnricher) LabelSample(s *dataset.Sample) error { return nil }
+func (nopEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
+	return behavior.NewProfile(), false, nil
+}
+
+// TestHandlerRecoveryGate checks the readiness split: while the service
+// is still recovering (get returns nil), /healthz stays alive, /readyz
+// and every service endpoint answer 503; once ready, /readyz flips.
+func TestHandlerRecoveryGate(t *testing.T) {
+	var svc *stream.Service
+	ts := httptest.NewServer(newHandler(func() *stream.Service { return svc }, maxIngestBody))
+	defer ts.Close()
+
+	status := func(method, path string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader("[]"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := status("GET", "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while recovering: %d, want 200", code)
+	}
+	for path, method := range map[string]string{
+		"/readyz": "GET", "/v1/stats": "GET", "/v1/ingest": "POST", "/v1/flush": "POST",
+	} {
+		if code := status(method, path); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while recovering: %d, want 503", path, code)
+		}
+	}
+
+	real, err := stream.New(stream.DefaultConfig(), nopEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer real.Close()
+	svc = real
+	if code := status("GET", "/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz when ready: %d, want 200", code)
+	}
+}
+
+// TestIngestBodyCap checks oversized /v1/ingest bodies are refused with
+// 413 before they reach the service.
+func TestIngestBodyCap(t *testing.T) {
+	svc, err := stream.New(stream.DefaultConfig(), nopEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(newHandler(func() *stream.Service { return svc }, 256))
+	defer ts.Close()
+
+	big := "[" + strings.Repeat(" ", 1024) + "]"
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: %s, want 413", resp.Status)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+		t.Fatalf("413 body = %v, %v; want an error message", body, err)
+	}
+	// A small body still lands.
+	resp, err = http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small ingest after cap test: %s, want 200", resp.Status)
+	}
+}
+
+// TestConvergeStreamFailsMidStream is the -replay exit-path regression:
+// a replay that dies mid-stream (service closed under it) must surface
+// a clear error instead of a partial comparison, and an unclean replay
+// (quarantined samples) must fail the gate even when event counts look
+// plausible.
+func TestConvergeStreamFailsMidStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SmallScenario batch pipeline")
+	}
+	res, err := core.Run(core.SmallScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.Config{
+		EpochSize:  64,
+		Thresholds: core.SmallScenario().Thresholds,
+		BCluster:   core.SmallScenario().Enrichment.BCluster,
+	}
+	svc, err := stream.New(cfg, res.Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close() // the next Ingest fails -> mid-stream replay failure
+	err = convergeStream(svc, res, 97)
+	if err == nil || !strings.Contains(err.Error(), "mid-stream") {
+		t.Fatalf("convergeStream on a dead service: %v, want mid-stream failure", err)
+	}
+
+	// Unclean replay: one sample permanently quarantined.
+	victim := res.Dataset.Samples()[0].MD5
+	faulty := enrich.NewFaulty(res.Pipeline, enrich.FaultConfig{Permanent: map[string]bool{victim: true}})
+	svc2, err := stream.New(cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	err = convergeStream(svc2, res, 97)
+	if err == nil || !strings.Contains(err.Error(), "unclean replay") {
+		t.Fatalf("convergeStream with a quarantined sample: %v, want unclean-replay failure", err)
 	}
 }

@@ -1,0 +1,77 @@
+package bcluster
+
+import (
+	"fmt"
+
+	"repro/internal/behavior"
+)
+
+// IncrementalInput is one sample's persisted clustering input: the ID
+// and the (sorted) behavioral features its profile reduces to. Those
+// two fields determine the signature, the feature set, and therefore
+// the whole probe-and-link sequence.
+type IncrementalInput struct {
+	ID       string   `json:"id"`
+	Features []string `json:"features"`
+}
+
+// IncrementalState is a serializable snapshot of an Incremental: the
+// inputs in arrival order, the integration watermark, and the epoch
+// counter. Everything else (LSH buckets, union-find, failed-pair memo,
+// probe stats) is a deterministic function of these and is rebuilt by
+// RestoreIncremental.
+type IncrementalState struct {
+	Inputs     []IncrementalInput `json:"inputs"`
+	Integrated int                `json:"integrated"`
+	Epochs     int                `json:"epochs"`
+}
+
+// State snapshots the clusterer for checkpointing.
+func (inc *Incremental) State() IncrementalState {
+	st := IncrementalState{
+		Inputs:     make([]IncrementalInput, len(inc.inputs)),
+		Integrated: inc.integrated,
+		Epochs:     inc.epochs,
+	}
+	for i, in := range inc.inputs {
+		st.Inputs[i] = IncrementalInput{ID: in.ID, Features: in.Profile.Features()}
+	}
+	return st
+}
+
+// RestoreIncremental rebuilds a clusterer from a State snapshot. The
+// result is byte-identical to the snapshotted instance — partition,
+// buckets, failed-pair memo, and probe stats included — because
+// integration happens in strict arrival order regardless of how the
+// original run partitioned it into epochs: replaying the integrated
+// prefix as one verification epoch performs exactly the same probe
+// sequence.
+func RestoreIncremental(cfg Config, st IncrementalState) (*Incremental, error) {
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.Integrated < 0 || st.Integrated > len(st.Inputs) {
+		return nil, fmt.Errorf("bcluster: restore watermark %d out of range [0,%d]", st.Integrated, len(st.Inputs))
+	}
+	add := func(in IncrementalInput) error {
+		p := behavior.NewProfile()
+		for _, f := range in.Features {
+			p.Add(f)
+		}
+		return inc.Add(Input{ID: in.ID, Profile: p})
+	}
+	for _, in := range st.Inputs[:st.Integrated] {
+		if err := add(in); err != nil {
+			return nil, fmt.Errorf("bcluster: restore: %w", err)
+		}
+	}
+	inc.Verify()
+	for _, in := range st.Inputs[st.Integrated:] {
+		if err := add(in); err != nil {
+			return nil, fmt.Errorf("bcluster: restore: %w", err)
+		}
+	}
+	inc.epochs = st.Epochs
+	return inc, nil
+}

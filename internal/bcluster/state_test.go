@@ -1,0 +1,87 @@
+package bcluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestStateRestoreRoundTrip checkpoints an Incremental mid-stream —
+// several completed epochs plus a parked tail — and asserts the restored
+// instance is indistinguishable: same partition, same probe stats, same
+// watermark, and identical behavior on the rest of the stream.
+func TestStateRestoreRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := incCorpus(300)
+
+	build := func(n int) *Incremental {
+		inc, err := NewIncremental(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := inc.Add(inputs[i]); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%60 == 0 {
+				inc.Verify()
+			}
+		}
+		return inc
+	}
+
+	orig := build(200) // 3 full epochs + 20 parked
+	st := orig.State()
+	// The snapshot must survive serialization: it is embedded in the
+	// streaming service's JSON checkpoint.
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded IncrementalState
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreIncremental(cfg, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Pending() != orig.Pending() || restored.Epochs() != orig.Epochs() ||
+		restored.Samples() != orig.Samples() || restored.Components() != orig.Components() {
+		t.Fatalf("restored pending/epochs/samples/components = %d/%d/%d/%d, want %d/%d/%d/%d",
+			restored.Pending(), restored.Epochs(), restored.Samples(), restored.Components(),
+			orig.Pending(), orig.Epochs(), orig.Samples(), orig.Components())
+	}
+	if restored.Stats() != orig.Stats() {
+		t.Fatalf("restored stats %+v != %+v", restored.Stats(), orig.Stats())
+	}
+	if !reflect.DeepEqual(members(restored.Result()), members(orig.Result())) {
+		t.Fatal("restored partition diverges")
+	}
+
+	// Continue both instances over the remaining stream: every later
+	// probe must behave identically.
+	for i := 200; i < len(inputs); i++ {
+		if err := orig.Add(inputs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Add(inputs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig.Verify()
+	restored.Verify()
+	if restored.Stats() != orig.Stats() {
+		t.Fatalf("post-restore stats %+v != %+v", restored.Stats(), orig.Stats())
+	}
+	if !reflect.DeepEqual(members(restored.Result()), members(orig.Result())) {
+		t.Fatal("post-restore partition diverges")
+	}
+}
+
+func TestRestoreIncrementalValidation(t *testing.T) {
+	if _, err := RestoreIncremental(DefaultConfig(), IncrementalState{Integrated: 1}); err == nil {
+		t.Fatal("watermark beyond the inputs must error")
+	}
+}

@@ -136,13 +136,13 @@ func TestProfileSnapshotCaching(t *testing.T) {
 
 func TestParseIRCFeatureRejectsMalformedPorts(t *testing.T) {
 	bad := []string{
-		"irc|1.2.3.4:6667x|#room",  // trailing garbage, silently accepted by Sscanf
-		"irc|1.2.3.4:66 67|#room",  // embedded space
-		"irc|1.2.3.4:+6667|#room",  // explicit sign is not a port
-		"irc|1.2.3.4:-1|#room",     // negative
-		"irc|1.2.3.4:65536|#room",  // above the port range
+		"irc|1.2.3.4:6667x|#room",                 // trailing garbage, silently accepted by Sscanf
+		"irc|1.2.3.4:66 67|#room",                 // embedded space
+		"irc|1.2.3.4:+6667|#room",                 // explicit sign is not a port
+		"irc|1.2.3.4:-1|#room",                    // negative
+		"irc|1.2.3.4:65536|#room",                 // above the port range
 		"irc|1.2.3.4:999999999999999999999|#room", // overflow
-		"irc|1.2.3.4:|#room", // empty port
+		"irc|1.2.3.4:|#room",                      // empty port
 	}
 	for _, f := range bad {
 		if _, port, _, ok := ParseIRCFeature(f); ok {

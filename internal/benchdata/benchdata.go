@@ -61,14 +61,14 @@ func StreamEvents(n int) []dataset.Event {
 	mk := func(i, sample int) dataset.Event {
 		fam := sample % 25
 		return dataset.Event{
-			ID:       fmt.Sprintf("bev%06d", i),
-			Time:     base.Add(time.Duration(i) * time.Second),
-			Attacker: fmt.Sprintf("198.51.%d.%d", r.Intn(4), r.Intn(250)),
-			Sensor:   fmt.Sprintf("192.0.2.%d", r.Intn(120)),
-			FSMPath:  fmt.Sprintf("445:s%d", fam%5),
-			DestPort: 445,
-			Protocol: []string{"csend", "ftp", "http"}[fam%3],
-			Filename: fmt.Sprintf("drop%d.exe", fam%4),
+			ID:          fmt.Sprintf("bev%06d", i),
+			Time:        base.Add(time.Duration(i) * time.Second),
+			Attacker:    fmt.Sprintf("198.51.%d.%d", r.Intn(4), r.Intn(250)),
+			Sensor:      fmt.Sprintf("192.0.2.%d", r.Intn(120)),
+			FSMPath:     fmt.Sprintf("445:s%d", fam%5),
+			DestPort:    445,
+			Protocol:    []string{"csend", "ftp", "http"}[fam%3],
+			Filename:    fmt.Sprintf("drop%d.exe", fam%4),
 			PayloadPort: 9000 + fam%6,
 			Interaction: "PUSH",
 			Sample: pe.Features{

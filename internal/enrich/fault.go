@@ -1,0 +1,134 @@
+package enrich
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+)
+
+// TransientError marks an enrichment failure as retryable: the sandbox
+// or the AV oracle was temporarily unavailable, not wrong about the
+// sample. The streaming service retries transient failures with backoff
+// and quarantines a sample only when a failure is permanent or the
+// retry budget is exhausted.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps an error as retryable.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether any error in the chain is a
+// TransientError.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// SampleEnricher is the per-sample enrichment surface the fault
+// injector wraps — *Pipeline implements it, and it restates
+// stream.Enricher (declared there to keep this package independent of
+// the service).
+type SampleEnricher interface {
+	LabelSample(s *dataset.Sample) error
+	ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error)
+}
+
+// FaultConfig parameterizes injected enrichment failures. All decisions
+// are deterministic functions of (Seed, sample MD5, operation, attempt
+// number), so a faulty run is exactly reproducible.
+type FaultConfig struct {
+	// Seed decorrelates fault schedules across runs.
+	Seed uint64
+	// Rate is the probability in [0,1) that any given attempt fails
+	// transiently.
+	Rate float64
+	// FailFirst fails the first N attempts of every (sample, operation)
+	// transiently and lets later attempts through — the
+	// fail-N-times-then-succeed schedule.
+	FailFirst int
+	// Permanent lists sample MD5s whose enrichment always fails with a
+	// non-transient error.
+	Permanent map[string]bool
+}
+
+// FaultyEnricher injects enrichment failures in front of a real
+// enricher, for chaos tests. ExecuteSample is called from the service's
+// parallel sandbox pool, so the attempt bookkeeping is locked.
+type FaultyEnricher struct {
+	inner SampleEnricher
+	cfg   FaultConfig
+
+	mu        sync.Mutex
+	attempts  map[string]int // (op, md5) -> attempts so far
+	transient int
+	permanent int
+}
+
+// NewFaulty wraps an enricher with a fault schedule.
+func NewFaulty(inner SampleEnricher, cfg FaultConfig) *FaultyEnricher {
+	return &FaultyEnricher{inner: inner, cfg: cfg, attempts: make(map[string]int)}
+}
+
+// Injected reports how many transient and permanent failures were
+// injected so far.
+func (f *FaultyEnricher) Injected() (transient, permanent int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transient, f.permanent
+}
+
+// LabelSample fails according to the schedule, delegating otherwise.
+func (f *FaultyEnricher) LabelSample(s *dataset.Sample) error {
+	if err := f.fault("label", s.MD5); err != nil {
+		return err
+	}
+	return f.inner.LabelSample(s)
+}
+
+// ExecuteSample fails according to the schedule, delegating otherwise.
+func (f *FaultyEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
+	if err := f.fault("execute", s.MD5); err != nil {
+		return nil, false, err
+	}
+	return f.inner.ExecuteSample(s)
+}
+
+// fault decides one attempt's fate: permanent MD5s always fail,
+// FailFirst covers the first attempts, then the seeded rate applies.
+func (f *FaultyEnricher) fault(op, md5 string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := op + ":" + md5
+	f.attempts[key]++
+	attempt := f.attempts[key]
+	if f.cfg.Permanent[md5] {
+		f.permanent++
+		return fmt.Errorf("enrich: injected permanent %s failure for %s", op, md5)
+	}
+	if attempt <= f.cfg.FailFirst {
+		f.transient++
+		return Transient(fmt.Errorf("enrich: injected %s failure %d/%d for %s", op, attempt, f.cfg.FailFirst, md5))
+	}
+	if f.cfg.Rate > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s|%s|%d", f.cfg.Seed, op, md5, attempt)
+		if float64(h.Sum64()%1_000_000)/1_000_000 < f.cfg.Rate {
+			f.transient++
+			return Transient(fmt.Errorf("enrich: injected %s fault for %s (attempt %d)", op, md5, attempt))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package enrich
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+)
+
+type okEnricher struct{}
+
+func (okEnricher) LabelSample(s *dataset.Sample) error {
+	s.AVLabel = "OK." + s.MD5
+	return nil
+}
+
+func (okEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
+	p := behavior.NewProfile()
+	p.Add("beh-" + s.MD5)
+	return p, false, nil
+}
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("sandbox timeout")
+	if !IsTransient(Transient(base)) {
+		t.Fatal("Transient(err) must classify as transient")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Fatal("Transient must preserve the wrapped error")
+	}
+	if IsTransient(base) {
+		t.Fatal("a bare error is not transient")
+	}
+	if IsTransient(nil) || Transient(nil) != nil {
+		t.Fatal("nil stays nil")
+	}
+	if !IsTransient(fmt.Errorf("outer: %w", Transient(base))) {
+		t.Fatal("transience must survive wrapping")
+	}
+}
+
+func TestFaultyFailFirstThenSucceeds(t *testing.T) {
+	f := NewFaulty(okEnricher{}, FaultConfig{FailFirst: 2})
+	s := &dataset.Sample{MD5: "aa", Executable: true}
+	for i := 0; i < 2; i++ {
+		err := f.LabelSample(s)
+		if err == nil || !IsTransient(err) {
+			t.Fatalf("attempt %d: err=%v, want transient", i+1, err)
+		}
+	}
+	if err := f.LabelSample(s); err != nil {
+		t.Fatalf("attempt 3: %v, want success", err)
+	}
+	if s.AVLabel != "OK.aa" {
+		t.Fatalf("label %q after recovery", s.AVLabel)
+	}
+	// Operations count attempts independently.
+	if _, _, err := f.ExecuteSample(s); err == nil || !IsTransient(err) {
+		t.Fatalf("execute attempt 1: %v, want transient", err)
+	}
+	tr, perm := f.Injected()
+	if tr != 3 || perm != 0 {
+		t.Fatalf("injected %d/%d, want 3 transient 0 permanent", tr, perm)
+	}
+}
+
+func TestFaultyPermanent(t *testing.T) {
+	f := NewFaulty(okEnricher{}, FaultConfig{FailFirst: 1, Permanent: map[string]bool{"bad": true}})
+	bad := &dataset.Sample{MD5: "bad", Executable: true}
+	for i := 0; i < 3; i++ {
+		err := f.LabelSample(bad)
+		if err == nil || IsTransient(err) {
+			t.Fatalf("attempt %d on permanent sample: %v, want permanent error", i+1, err)
+		}
+	}
+	good := &dataset.Sample{MD5: "good"}
+	if err := f.LabelSample(good); err == nil || !IsTransient(err) {
+		t.Fatalf("first attempt on good sample: %v, want transient", err)
+	}
+	tr, perm := f.Injected()
+	if tr != 1 || perm != 3 {
+		t.Fatalf("injected %d/%d, want 1 transient 3 permanent", tr, perm)
+	}
+}
+
+func TestFaultyRateIsDeterministic(t *testing.T) {
+	outcomes := func() []bool {
+		f := NewFaulty(okEnricher{}, FaultConfig{Seed: 42, Rate: 0.5})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			s := &dataset.Sample{MD5: fmt.Sprintf("md5-%d", i)}
+			out = append(out, f.LabelSample(s) != nil)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d: fault schedule not deterministic", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails < 60 || fails > 140 {
+		t.Fatalf("rate 0.5 injected %d/200 faults", fails)
+	}
+}

@@ -1,0 +1,434 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bcluster"
+	"repro/internal/dataset"
+	"repro/internal/epm"
+	"repro/internal/wal"
+)
+
+// Durability configures crash safety. With a Dir set, every accepted
+// request (batch or flush) is appended to a write-ahead log before it
+// is applied, and checkpoints serialize the full service state so
+// recovery is "load checkpoint, replay WAL suffix". The zero value
+// disables persistence.
+type Durability struct {
+	// Dir holds the WAL segments and the checkpoint file.
+	Dir string
+	// CheckpointEvery checkpoints automatically after every N applied
+	// records; 0 checkpoints only on explicit Checkpoint calls.
+	CheckpointEvery int
+	// SegmentBytes is the WAL rotation threshold; 0 selects 8 MiB.
+	SegmentBytes int64
+	// NoSync skips fsyncs (see wal.Options.NoSync); tests use it.
+	NoSync bool
+}
+
+func (d Durability) validate() error {
+	if d.CheckpointEvery < 0 {
+		return fmt.Errorf("stream: CheckpointEvery %d is negative", d.CheckpointEvery)
+	}
+	return nil
+}
+
+const (
+	checkpointName    = "checkpoint.json"
+	checkpointVersion = 1
+
+	walKindBatch = "batch"
+	walKindFlush = "flush"
+)
+
+// walRecord is the WAL payload: the raw accepted request. Batches are
+// logged before validation, so replay reproduces rejection and
+// duplicate accounting too; flushes are logged because flush-forced
+// epochs mint stable cluster IDs that recovery must re-mint.
+type walRecord struct {
+	Kind   string          `json:"kind"`
+	Events []dataset.Event `json:"events,omitempty"`
+}
+
+// checkpointFile is the atomic on-disk snapshot. Everything not listed
+// is a deterministic function of what is: instances re-project from the
+// events, EPM clusterings re-derive from the instances and watermarks,
+// and the B-clusterer restores from its own state record. MaxQueueDepth
+// is deliberately absent — queue depth is path-dependent, not part of
+// the landscape state.
+type checkpointFile struct {
+	Version     int                       `json:"version"`
+	Seq         uint64                    `json:"seq"` // every record <= Seq is reflected
+	Events      []dataset.Event           `json:"events"`
+	Samples     []sampleEnrichment        `json:"samples,omitempty"`
+	Counters    checkpointCounters        `json:"counters"`
+	Dims        [3]dimState               `json:"dims"`
+	B           bcluster.IncrementalState `json:"b"`
+	Retry       []retryEntryState         `json:"retry,omitempty"`
+	Quarantined map[string]string         `json:"quarantined,omitempty"`
+}
+
+// sampleEnrichment persists the per-sample state the events cannot
+// reproduce: AV labels and the behavioral profile.
+type sampleEnrichment struct {
+	MD5      string            `json:"md5"`
+	AVLabel  string            `json:"av_label,omitempty"`
+	AVLabels map[string]string `json:"av_labels,omitempty"`
+	Profile  []string          `json:"profile,omitempty"`
+}
+
+type checkpointCounters struct {
+	Events           int            `json:"events"`
+	Rejected         int            `json:"rejected"`
+	RejectedByReason map[string]int `json:"rejected_by_reason,omitempty"`
+	Duplicates       int            `json:"duplicates"`
+	Executed         int            `json:"executed"`
+	Degraded         int            `json:"degraded"`
+	EnrichErrors     int            `json:"enrich_errors"`
+	StaleProfiles    int            `json:"stale_profiles"`
+	Flushes          int            `json:"flushes"`
+	RetryScheduled   int            `json:"retry_scheduled"`
+	RetryAttempts    int            `json:"retry_attempts"`
+	RetrySuccesses   int            `json:"retry_successes"`
+	RecentErrors     []string       `json:"recent_errors,omitempty"`
+}
+
+// dimState is one EPM dimension's non-derivable state.
+type dimState struct {
+	Epoch      int            `json:"epoch"`
+	BuiltLen   int            `json:"built_len"`
+	NextStable int            `json:"next_stable"`
+	Stable     map[string]int `json:"stable,omitempty"`
+}
+
+type retryEntryState struct {
+	MD5      string `json:"md5"`
+	Stage    string `json:"stage"`
+	Attempts int    `json:"attempts"`
+	NextSeq  uint64 `json:"next_seq"`
+	LastErr  string `json:"last_err,omitempty"`
+}
+
+// logRequest appends the request to the WAL; the request must not be
+// applied when this fails (the WAL is the source of truth, so applying
+// an unlogged batch would make the live state unrecoverable). Without a
+// WAL the sequence number still advances: it is the retry-backoff
+// clock.
+func (s *Service) logRequest(req request) bool {
+	if s.wal == nil {
+		s.mu.Lock()
+		s.applySeq++
+		s.mu.Unlock()
+		return true
+	}
+	rec := walRecord{Kind: walKindBatch, Events: req.events}
+	if req.flush {
+		rec.Kind = walKindFlush
+		rec.Events = nil
+	}
+	payload, err := json.Marshal(rec)
+	var seq uint64
+	if err == nil {
+		seq, err = s.wal.Append(payload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.walAppendErrors++
+		s.recordError("wal append failed, request dropped: " + err.Error())
+		return false
+	}
+	s.walAppends++
+	s.applySeq = seq
+	return true
+}
+
+// Checkpoint serializes the full service state to the durability
+// directory and garbage-collects the WAL prefix it covers. The request
+// travels through the worker queue, so it observes a consistent batch
+// boundary: every previously queued request is applied first.
+func (s *Service) Checkpoint(ctx context.Context) error {
+	if s.wal == nil {
+		return fmt.Errorf("stream: durability is not configured")
+	}
+	req := request{ckpt: true, errc: make(chan error, 1)}
+	if err := s.send(ctx, req); err != nil {
+		return err
+	}
+	select {
+	case err := <-req.errc:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// checkpoint writes the snapshot atomically: temp file, fsync, rename,
+// directory fsync. Runs on the worker.
+func (s *Service) checkpoint() error {
+	s.mu.RLock()
+	cp := s.buildCheckpoint()
+	blob, err := json.Marshal(cp)
+	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("stream: encoding checkpoint: %w", err)
+	}
+	dir := s.cfg.Durability.Dir
+	path := filepath.Join(dir, checkpointName)
+	tmp, err := os.CreateTemp(dir, checkpointName+".tmp-")
+	if err != nil {
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	if !s.cfg.Durability.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("stream: checkpoint: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	if !s.cfg.Durability.NoSync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	s.mu.Lock()
+	s.checkpoints++
+	s.lastCkptSeq = cp.Seq
+	s.sinceCkpt = 0
+	s.mu.Unlock()
+	// The WAL prefix the checkpoint covers is now redundant.
+	if err := s.wal.TruncateBefore(cp.Seq + 1); err != nil {
+		s.mu.Lock()
+		s.recordError("wal truncation after checkpoint: " + err.Error())
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// buildCheckpoint snapshots the state. Callers hold at least the read
+// lock; the worker is the only caller, so no mutation is concurrent.
+func (s *Service) buildCheckpoint() *checkpointFile {
+	cp := &checkpointFile{
+		Version: checkpointVersion,
+		Seq:     s.applySeq,
+		Events:  s.ds.Events(),
+		Counters: checkpointCounters{
+			Events:           s.events,
+			Rejected:         s.rejected,
+			RejectedByReason: s.rejectedByReason,
+			Duplicates:       s.duplicates,
+			Executed:         s.executed,
+			Degraded:         s.degraded,
+			EnrichErrors:     s.enrichErrors,
+			StaleProfiles:    s.staleProfiles,
+			Flushes:          s.flushes,
+			RetryScheduled:   s.retryScheduled,
+			RetryAttempts:    s.retryAttempts,
+			RetrySuccesses:   s.retrySuccesses,
+			RecentErrors:     s.recentErrors,
+		},
+		B:           s.b.State(),
+		Quarantined: s.quarantined,
+	}
+	for _, smp := range s.ds.Samples() {
+		if smp.AVLabel == "" && len(smp.AVLabels) == 0 && smp.Profile == nil {
+			continue
+		}
+		cp.Samples = append(cp.Samples, sampleEnrichment{
+			MD5: smp.MD5, AVLabel: smp.AVLabel, AVLabels: smp.AVLabels, Profile: smp.Profile,
+		})
+	}
+	for i, d := range s.dims {
+		cp.Dims[i] = dimState{Epoch: d.epoch, BuiltLen: d.builtLen, NextStable: d.nextStable, Stable: d.stable}
+	}
+	for _, e := range s.retry.entries {
+		cp.Retry = append(cp.Retry, retryEntryState{
+			MD5: e.md5, Stage: e.stage, Attempts: e.attempts, NextSeq: e.nextSeq, LastErr: e.lastErr,
+		})
+	}
+	return cp
+}
+
+// recover loads the newest checkpoint (when present), re-derives all
+// in-memory state from it, opens the WAL (repairing a torn tail), and
+// replays every record after the checkpoint through the normal apply
+// path. Runs in New, before the worker starts.
+func (s *Service) recover() error {
+	dcfg := s.cfg.Durability
+	blob, err := os.ReadFile(filepath.Join(dcfg.Dir, checkpointName))
+	switch {
+	case err == nil:
+		var cp checkpointFile
+		if err := json.Unmarshal(blob, &cp); err != nil {
+			return fmt.Errorf("stream: corrupt checkpoint: %w", err)
+		}
+		if err := s.restoreCheckpoint(&cp); err != nil {
+			return err
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh start (or a WAL-only recovery).
+	default:
+		return fmt.Errorf("stream: reading checkpoint: %w", err)
+	}
+	w, err := wal.Open(wal.Options{Dir: dcfg.Dir, SegmentBytes: dcfg.SegmentBytes, NoSync: dcfg.NoSync})
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	if err := w.Replay(s.applySeq+1, func(seq uint64, payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("stream: wal record %d: %w", seq, err)
+		}
+		s.applySeq = seq
+		switch rec.Kind {
+		case walKindFlush:
+			s.applyFlush()
+		case walKindBatch:
+			s.applyBatch(rec.Events, 0)
+		default:
+			return fmt.Errorf("stream: wal record %d has unknown kind %q", seq, rec.Kind)
+		}
+		s.recoveredRecords++
+		return nil
+	}); err != nil {
+		w.Close()
+		return err
+	}
+	if w.LastSeq() < s.applySeq {
+		w.Close()
+		return fmt.Errorf("stream: wal ends at seq %d but the checkpoint covers %d; refusing to reuse sequence numbers", w.LastSeq(), s.applySeq)
+	}
+	return nil
+}
+
+// restoreCheckpoint re-derives the full in-memory state from a
+// checkpoint: dataset and instances from the events, enrichment from
+// the sample records, EPM clusterings from deterministic re-discovery
+// at the recorded watermarks, and the B partition from its state
+// record.
+func (s *Service) restoreCheckpoint(cp *checkpointFile) error {
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("stream: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	for _, e := range cp.Events {
+		if err := s.ds.AddEvent(e); err != nil {
+			return fmt.Errorf("stream: corrupt checkpoint: %w", err)
+		}
+		s.dims[0].instances = append(s.dims[0].instances, e.EpsilonInstance())
+		s.dims[1].instances = append(s.dims[1].instances, e.PiInstance())
+		if in, ok := e.MuInstance(); ok {
+			s.dims[2].instances = append(s.dims[2].instances, in)
+		}
+	}
+	for _, se := range cp.Samples {
+		smp := s.ds.Sample(se.MD5)
+		if smp == nil {
+			return fmt.Errorf("stream: checkpoint enriches unknown sample %s", se.MD5)
+		}
+		smp.AVLabel, smp.AVLabels, smp.Profile = se.AVLabel, se.AVLabels, se.Profile
+	}
+	for i := range s.dims {
+		if err := s.dims[i].restore(cp.Dims[i]); err != nil {
+			return err
+		}
+	}
+	b, err := bcluster.RestoreIncremental(s.cfg.BCluster, cp.B)
+	if err != nil {
+		return err
+	}
+	s.b = b
+	c := cp.Counters
+	s.events, s.rejected, s.duplicates = c.Events, c.Rejected, c.Duplicates
+	s.executed, s.degraded = c.Executed, c.Degraded
+	s.enrichErrors, s.staleProfiles, s.flushes = c.EnrichErrors, c.StaleProfiles, c.Flushes
+	s.retryScheduled, s.retryAttempts, s.retrySuccesses = c.RetryScheduled, c.RetryAttempts, c.RetrySuccesses
+	s.recentErrors = append(s.recentErrors[:0], c.RecentErrors...)
+	for reason, n := range c.RejectedByReason {
+		s.rejectedByReason[reason] = n
+	}
+	for md5, msg := range cp.Quarantined {
+		s.quarantined[md5] = msg
+	}
+	for _, e := range cp.Retry {
+		s.retry.add(&retryEntry{md5: e.MD5, stage: e.Stage, attempts: e.Attempts, nextSeq: e.NextSeq, lastErr: e.LastErr})
+	}
+	s.applySeq = cp.Seq
+	return nil
+}
+
+// restore rebuilds a dimension's derived state after its instances have
+// been re-projected from the checkpointed events: the last epoch's
+// clustering is re-discovered (discovery is deterministic), epoch
+// assignments re-derived through the restored stable-ID table, and
+// post-epoch instances re-classified exactly as the live add path did.
+func (d *dimension) restore(st dimState) error {
+	if st.BuiltLen < 0 || st.BuiltLen > len(d.instances) {
+		return fmt.Errorf("stream: dimension %s: checkpoint watermark %d out of range [0,%d]",
+			d.schema.Dimension, st.BuiltLen, len(d.instances))
+	}
+	d.epoch = st.Epoch
+	d.nextStable = st.NextStable
+	d.stable = make(map[string]int, len(st.Stable))
+	for k, v := range st.Stable {
+		d.stable[k] = v
+	}
+	if st.BuiltLen > 0 {
+		c, err := epm.RunParallel(d.schema, d.instances[:st.BuiltLen], d.thresholds, d.parallelism)
+		if err != nil {
+			return err
+		}
+		d.clustering = c
+		d.builtLen = st.BuiltLen
+		for i := range c.Clusters {
+			sid := d.stableOf(c.Clusters[i].Pattern.Key())
+			for _, id := range c.Clusters[i].InstanceIDs {
+				d.assign[id] = sid
+			}
+		}
+	}
+	for _, in := range d.instances[d.builtLen:] {
+		if d.clustering != nil {
+			if p, _, ok := d.clustering.Classify(in.Values); ok {
+				sid := d.stableOf(p.Key())
+				d.assign[in.ID] = sid
+				d.provisional[sid]++
+				continue
+			}
+		}
+		d.pendingCount++
+	}
+	return nil
+}
+
+// WALStats summarizes durability for Stats.
+type WALStats struct {
+	Enabled bool `json:"enabled"`
+	// LastSeq is the newest logged record; Appends/AppendErrors count
+	// this process's writes.
+	LastSeq      uint64 `json:"last_seq"`
+	Appends      int    `json:"appends"`
+	AppendErrors int    `json:"append_errors"`
+	// Checkpoints counts this process's checkpoints; LastCheckpointSeq
+	// is the newest one's coverage.
+	Checkpoints       int    `json:"checkpoints"`
+	LastCheckpointSeq uint64 `json:"last_checkpoint_seq"`
+	// RecoveredRecords counts WAL records replayed at startup.
+	RecoveredRecords int `json:"recovered_records"`
+}

@@ -1,0 +1,211 @@
+package stream_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+// cleanCorpus builds n well-formed events across three truth variants.
+func cleanCorpus(n int) []dataset.Event {
+	var out []dataset.Event
+	for i := 0; i < n; i++ {
+		out = append(out, testEvent(i, fmt.Sprintf("v%d", i%3)))
+	}
+	return out
+}
+
+// dirtyCorpus mixes duplicates and invalid events into a clean
+// sequence, so recovery must reproduce the rejection accounting too.
+func dirtyCorpus(n int) []dataset.Event {
+	var out []dataset.Event
+	for i := 0; i < n; i++ {
+		switch {
+		case i%17 == 3 && i >= 3:
+			// Redelivery: the event ID was already ingested.
+			out = append(out, testEvent(i-3, fmt.Sprintf("v%d", (i-3)%3)))
+		case i%23 == 5:
+			e := testEvent(i, "")
+			e.Attacker = ""
+			out = append(out, e)
+		default:
+			out = append(out, testEvent(i, fmt.Sprintf("v%d", i%3)))
+		}
+	}
+	return out
+}
+
+// normStats strips the path- and process-dependent fields (queue
+// high-water marks, WAL/IO counters) that are legitimately different
+// between an interrupted and an uninterrupted run.
+func normStats(st stream.Stats) stream.Stats {
+	st.QueueCap, st.QueueDepth, st.MaxQueueDepth = 0, 0, 0
+	st.WAL = stream.WALStats{}
+	return st
+}
+
+// compareServices asserts two services converged on identical landscape
+// state: stable-ID EPM views, B membership partition, and counters.
+func compareServices(t *testing.T, label string, got, want *stream.Service) {
+	t.Helper()
+	for _, dim := range []string{"epsilon", "pi", "mu"} {
+		gv, err := got.EPMClusters(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wv, err := want.EPMClusters(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gv, wv) {
+			t.Fatalf("%s: %s view diverges:\ngot  %+v\nwant %+v", label, dim, gv, wv)
+		}
+	}
+	if !reflect.DeepEqual(bMembers(got.BResult()), bMembers(want.BResult())) {
+		t.Fatalf("%s: B partition diverges", label)
+	}
+	gs, ws := normStats(got.Stats()), normStats(want.Stats())
+	if !reflect.DeepEqual(gs, ws) {
+		t.Fatalf("%s: stats diverge:\ngot  %+v\nwant %+v", label, gs, ws)
+	}
+}
+
+// feedInterrupted replays the corpus in batches, flushing mid-stream at
+// flushAfter, and — when restartEvery > 0 — tears the service down and
+// recovers it from disk after every restartEvery-th batch. It returns
+// the final (flushed) service.
+func feedInterrupted(t *testing.T, cfg stream.Config, events []dataset.Event, batchSize, flushAfter, restartEvery int) *stream.Service {
+	t.Helper()
+	ctx := context.Background()
+	svc, err := stream.New(cfg, fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := 0; bi*batchSize < len(events); bi++ {
+		lo, hi := bi*batchSize, (bi+1)*batchSize
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := svc.Ingest(ctx, events[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if flushAfter > 0 && bi == flushAfter {
+			if err := svc.Flush(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if restartEvery > 0 && bi%restartEvery == restartEvery-1 {
+			svc.Close()
+			if svc, err = stream.New(cfg, fakeEnricher{}); err != nil {
+				t.Fatalf("recovery after batch %d: %v", bi, err)
+			}
+		}
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestRecoveryEquivalence is the crash-recovery gate: a run that is
+// torn down and recovered from checkpoint + WAL replay every other
+// batch must end byte-identical — stable-ID EPM views, B membership
+// partition, and all landscape counters — to an uninterrupted run fed
+// the same sequence.
+func TestRecoveryEquivalence(t *testing.T) {
+	events := cleanCorpus(120)
+	const batchSize, flushAfter = 10, 5
+
+	want := feedInterrupted(t, testConfig(8), events, batchSize, flushAfter, 0)
+
+	cfg := testConfig(8)
+	cfg.Durability = stream.Durability{Dir: t.TempDir(), CheckpointEvery: 3, NoSync: true}
+	got := feedInterrupted(t, cfg, events, batchSize, flushAfter, 2)
+
+	compareServices(t, "recovered", got, want)
+	st := got.Stats()
+	if !st.WAL.Enabled || st.WAL.RecoveredRecords == 0 {
+		t.Fatalf("recovery exercised no WAL replay: %+v", st.WAL)
+	}
+}
+
+// TestCrashRecoveryStatsProperty kills and recovers the service after
+// every k-th batch of a dirty corpus (duplicates and invalid events
+// mixed in) and checks the recovered accounting — events, rejections by
+// reason, duplicates, executions — matches an uninterrupted run.
+func TestCrashRecoveryStatsProperty(t *testing.T) {
+	events := dirtyCorpus(200)
+	const batchSize = 10
+
+	want := feedInterrupted(t, testConfig(8), events, batchSize, 8, 0)
+
+	for _, k := range []int{1, 7, 64} {
+		cfg := testConfig(8)
+		cfg.Durability = stream.Durability{Dir: t.TempDir(), CheckpointEvery: 5, NoSync: true}
+		got := feedInterrupted(t, cfg, events, batchSize, 8, k)
+		compareServices(t, fmt.Sprintf("k=%d", k), got, want)
+	}
+}
+
+// TestCheckpointAndWALReplay drives the explicit Checkpoint API: the
+// snapshot lands atomically on disk, recovery replays only the WAL
+// suffix past it, and a memory-only service refuses the call.
+func TestCheckpointAndWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(0)
+	cfg.Durability = stream.Durability{Dir: dir, NoSync: true} // no auto-checkpoints
+	svc, err := stream.New(cfg, fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	events := cleanCorpus(40)
+	for bi := 0; bi < 3; bi++ {
+		if err := svc.Ingest(ctx, events[bi*10:(bi+1)*10]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.json")); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	st := svc.Stats()
+	if st.WAL.Checkpoints != 1 || st.WAL.LastCheckpointSeq != 3 {
+		t.Fatalf("WAL stats after checkpoint: %+v", st.WAL)
+	}
+	if err := svc.Ingest(ctx, events[30:40]); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	re, err := stream.New(cfg, fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if err := re.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rst := re.Stats()
+	if rst.Events != 40 {
+		t.Fatalf("recovered %d events, want 40", rst.Events)
+	}
+	// Only the post-checkpoint batch needed replay.
+	if rst.WAL.RecoveredRecords != 1 {
+		t.Fatalf("replayed %d records, want 1", rst.WAL.RecoveredRecords)
+	}
+
+	mem := newTestService(t, testConfig(0))
+	if err := mem.Checkpoint(ctx); err == nil {
+		t.Fatal("Checkpoint on a memory-only service must error")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bcluster"
 	"repro/internal/core"
+	"repro/internal/enrich"
 	"repro/internal/stream"
 )
 
@@ -87,5 +88,60 @@ func TestReplayMatchesBatch(t *testing.T) {
 			t.Fatalf("epoch=%d: executed %d samples, batch executed %d", epochSize, st.Executed, bExec)
 		}
 		svc.Close()
+	}
+}
+
+// TestReplayWithFaultsMatchesBatch composes the two gates: the full
+// SmallScenario replay, with a 30% transient fault rate injected in
+// front of the batch pipeline's own enricher, must still converge on
+// exactly the batch clusters — retries are invisible to the landscape.
+func TestReplayWithFaultsMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the SmallScenario")
+	}
+	sc := core.SmallScenario()
+	batch, err := core.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := batch.Dataset.Events()
+
+	cfg := stream.Config{
+		EpochSize:  64,
+		Thresholds: sc.Thresholds,
+		BCluster:   sc.Enrichment.BCluster,
+		Retry:      stream.Retry{MaxAttempts: 10},
+	}
+	faulty := enrich.NewFaulty(batch.Pipeline, enrich.FaultConfig{Seed: 11, Rate: 0.3})
+	svc, err := stream.New(cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := stream.Replay(context.Background(), svc, events, 97); err != nil {
+		t.Fatal(err)
+	}
+
+	st := svc.Stats()
+	if tr, perm := faulty.Injected(); tr == 0 || perm != 0 {
+		t.Fatalf("injected %d transient / %d permanent, want >0 / 0", tr, perm)
+	}
+	if st.Retry.Quarantined != 0 || st.Retry.Pending != 0 {
+		t.Fatalf("transient-only faults must not lose samples: %+v (%v)", st.Retry, svc.Quarantined())
+	}
+	_, _, bExec, _, _, _, _ := batch.Counts()
+	if st.Executed != bExec {
+		t.Fatalf("executed %d samples, batch executed %d", st.Executed, bExec)
+	}
+	e, _ := svc.EPMClustering("epsilon")
+	p, _ := svc.EPMClustering("pi")
+	m, _ := svc.EPMClustering("mu")
+	if !reflect.DeepEqual(e.Clusters, batch.E.Clusters) ||
+		!reflect.DeepEqual(p.Clusters, batch.P.Clusters) ||
+		!reflect.DeepEqual(m.Clusters, batch.M.Clusters) {
+		t.Fatal("EPM clusters diverge from batch under faults")
+	}
+	if !reflect.DeepEqual(bMembers(svc.BResult()), bMembers(batch.B)) {
+		t.Fatal("B partition diverges from batch under faults")
 	}
 }

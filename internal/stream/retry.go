@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Retry configures how the service handles transient enrichment
+// failures (enrich.TransientError): failed samples enter a retry pool
+// and are re-attempted with capped exponential backoff, measured in
+// applied WAL records so the schedule is deterministic and survives
+// recovery. Non-transient failures, and transient ones that exhaust
+// MaxAttempts, quarantine the sample.
+type Retry struct {
+	// MaxAttempts is the total attempt budget per sample and stage
+	// (the initial attempt included); 0 selects 5, 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry, in applied
+	// records; 0 selects 1.
+	BaseBackoff int
+	// MaxBackoff caps the exponential growth, in applied records; 0
+	// selects 8.
+	MaxBackoff int
+}
+
+func (r Retry) validate() error {
+	if r.MaxAttempts < 0 || r.BaseBackoff < 0 || r.MaxBackoff < 0 {
+		return fmt.Errorf("stream: negative retry parameter: %+v", r)
+	}
+	return nil
+}
+
+// Retry stages: a sample whose labeling failed retries the whole
+// label-then-execute sequence; a labeled sample whose sandbox run
+// failed retries only the execution.
+const (
+	retryLabel   = "label"
+	retryExecute = "execute"
+)
+
+// retryEntry is one pooled sample awaiting a retry.
+type retryEntry struct {
+	md5      string
+	stage    string
+	attempts int    // attempts made so far, the initial one included
+	nextSeq  uint64 // earliest applied-record seq to retry at
+	lastErr  string
+}
+
+// retryPool holds pooled samples in insertion order — a deterministic
+// order, so the retry-driven execution sequence replays identically
+// during recovery.
+type retryPool struct {
+	entries []*retryEntry
+	byID    map[string]*retryEntry
+}
+
+func newRetryPool() *retryPool {
+	return &retryPool{byID: make(map[string]*retryEntry)}
+}
+
+func (p *retryPool) len() int { return len(p.entries) }
+
+func (p *retryPool) get(md5 string) *retryEntry { return p.byID[md5] }
+
+func (p *retryPool) add(e *retryEntry) {
+	p.entries = append(p.entries, e)
+	p.byID[e.md5] = e
+}
+
+func (p *retryPool) remove(md5 string) {
+	if _, ok := p.byID[md5]; !ok {
+		return
+	}
+	delete(p.byID, md5)
+	for i, e := range p.entries {
+		if e.md5 == md5 {
+			p.entries = append(p.entries[:i], p.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// due returns the entries whose deadline has passed (all of them when
+// force is set), in insertion order.
+func (p *retryPool) due(seq uint64, force bool) []*retryEntry {
+	var out []*retryEntry
+	for _, e := range p.entries {
+		if force || e.nextSeq <= seq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// backoff returns the retry delay in applied records for a sample's
+// next attempt: capped exponential in the attempt count plus a
+// deterministic per-sample jitter (so a burst of same-batch failures
+// does not retry in lockstep, yet a recovery replay reschedules
+// identically).
+func (s *Service) backoff(md5 string, attempts int) uint64 {
+	base, limit := s.cfg.Retry.BaseBackoff, s.cfg.Retry.MaxBackoff
+	d := base
+	for i := 1; i < attempts && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", md5, attempts)
+	return uint64(d) + h.Sum64()%uint64(d/2+1)
+}
+
+// RetryStats summarizes the retry pool and quarantine for Stats.
+type RetryStats struct {
+	// Pending counts samples currently awaiting a retry.
+	Pending int `json:"pending"`
+	// Scheduled counts samples that ever entered the retry pool.
+	Scheduled int `json:"scheduled"`
+	// Attempts counts retry attempts performed (initial attempts are
+	// not retries).
+	Attempts int `json:"attempts"`
+	// Successes counts samples that recovered via a retry.
+	Successes int `json:"successes"`
+	// Quarantined counts samples given up on: permanently failed, or
+	// transiently failed MaxAttempts times.
+	Quarantined int `json:"quarantined"`
+}

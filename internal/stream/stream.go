@@ -33,7 +33,9 @@ import (
 	"repro/internal/bcluster"
 	"repro/internal/behavior"
 	"repro/internal/dataset"
+	"repro/internal/enrich"
 	"repro/internal/epm"
+	"repro/internal/wal"
 )
 
 // Enricher supplies the per-sample enrichment the service performs on
@@ -64,6 +66,11 @@ type Config struct {
 	Thresholds epm.Thresholds
 	// BCluster configures the incremental behavioral clustering.
 	BCluster bcluster.Config
+	// Durability configures the write-ahead log and checkpointing; the
+	// zero value keeps the service memory-only.
+	Durability Durability
+	// Retry configures transient-enrichment retry and quarantine.
+	Retry Retry
 }
 
 // DefaultConfig mirrors the batch pipeline's analysis parameters with a
@@ -88,6 +95,12 @@ func (c Config) Validate() error {
 	if err := c.Thresholds.Validate(); err != nil {
 		return err
 	}
+	if err := c.Durability.validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.validate(); err != nil {
+		return err
+	}
 	return c.BCluster.Validate()
 }
 
@@ -98,7 +111,9 @@ var ErrClosed = errors.New("stream: service closed")
 type request struct {
 	events []dataset.Event
 	flush  bool
+	ckpt   bool
 	done   chan struct{}
+	errc   chan error
 }
 
 // Service is the streaming landscape service. Construct with New, feed
@@ -115,21 +130,41 @@ type Service struct {
 	prodWG     sync.WaitGroup
 	isClosed   bool
 
+	// wal, applySeq (guarded by mu for readers), and the checkpoint
+	// cursors are mutated by the worker only.
+	wal       *wal.Log
+	sinceCkpt int
+
 	mu   sync.RWMutex
 	ds   *dataset.Dataset
 	dims [3]*dimension
 	b    *bcluster.Incremental
 
-	events        int
-	rejected      int
-	duplicates    int
-	executed      int
-	degraded      int
-	enrichErrors  int
-	staleProfiles int
-	flushes       int
-	maxQueue      int
-	lastError     string
+	applySeq uint64 // seq of the last applied (or logged) record
+
+	events           int
+	rejected         int
+	rejectedByReason map[string]int
+	duplicates       int
+	executed         int
+	degraded         int
+	enrichErrors     int
+	staleProfiles    int
+	flushes          int
+	maxQueue         int
+	recentErrors     []string
+
+	retry          *retryPool
+	quarantined    map[string]string
+	retryScheduled int
+	retryAttempts  int
+	retrySuccesses int
+
+	walAppends       int
+	walAppendErrors  int
+	checkpoints      int
+	lastCkptSeq      uint64
+	recoveredRecords int
 }
 
 // New starts a service. The enricher must resolve every sample the
@@ -145,21 +180,45 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 16
 	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry.MaxAttempts = 5
+	}
+	if cfg.Retry.BaseBackoff == 0 {
+		cfg.Retry.BaseBackoff = 1
+	}
+	if cfg.Retry.MaxBackoff == 0 {
+		cfg.Retry.MaxBackoff = 8
+	}
+	if cfg.Retry.MaxBackoff < cfg.Retry.BaseBackoff {
+		cfg.Retry.MaxBackoff = cfg.Retry.BaseBackoff
+	}
 	b, err := bcluster.NewIncremental(cfg.BCluster)
 	if err != nil {
 		return nil, err
 	}
 	s := &Service{
-		cfg:        cfg,
-		enricher:   enricher,
-		in:         make(chan request, cfg.QueueDepth),
-		closed:     make(chan struct{}),
-		workerDone: make(chan struct{}),
-		ds:         dataset.New(),
-		b:          b,
+		cfg:              cfg,
+		enricher:         enricher,
+		in:               make(chan request, cfg.QueueDepth),
+		closed:           make(chan struct{}),
+		workerDone:       make(chan struct{}),
+		ds:               dataset.New(),
+		b:                b,
+		rejectedByReason: make(map[string]int),
+		retry:            newRetryPool(),
+		quarantined:      make(map[string]string),
 	}
 	for i, schema := range []epm.Schema{dataset.EpsilonSchema, dataset.PiSchema, dataset.MuSchema} {
 		s.dims[i] = newDimension(schema, cfg.Thresholds, cfg.Parallelism)
+	}
+	if cfg.Durability.Dir != "" {
+		// Recovery runs synchronously, before the worker: load the last
+		// checkpoint, replay the WAL suffix through the normal apply
+		// path. Callers that need liveness during a long recovery (the
+		// daemon) construct the service off their serving goroutine.
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
 	}
 	go s.worker()
 	return s, nil
@@ -227,19 +286,40 @@ func (s *Service) Close() {
 		s.prodWG.Wait()
 		close(s.in)
 		<-s.workerDone
+		if s.wal != nil {
+			s.wal.Close()
+		}
 	})
 }
 
 // worker is the single mutator: it applies batches in arrival order, so
-// all cluster state evolves deterministically in the event sequence.
+// all cluster state evolves deterministically in the record sequence.
+// Every accepted request is WAL-logged before it is applied; a request
+// whose append fails is dropped, not half-applied.
 func (s *Service) worker() {
 	defer close(s.workerDone)
 	for req := range s.in {
 		depth := len(s.in) + 1
-		if req.flush {
-			s.applyFlush()
-		} else {
-			s.applyBatch(req.events, depth)
+		if req.ckpt {
+			req.errc <- s.checkpoint()
+			continue
+		}
+		if s.logRequest(req) {
+			if req.flush {
+				s.applyFlush()
+			} else {
+				s.applyBatch(req.events, depth)
+			}
+			if every := s.cfg.Durability.CheckpointEvery; s.wal != nil && every > 0 {
+				s.sinceCkpt++
+				if s.sinceCkpt >= every {
+					if err := s.checkpoint(); err != nil {
+						s.mu.Lock()
+						s.recordError("checkpoint: " + err.Error())
+						s.mu.Unlock()
+					}
+				}
+			}
 		}
 		if req.done != nil {
 			close(req.done)
@@ -247,22 +327,24 @@ func (s *Service) worker() {
 	}
 }
 
-// applyBatch ingests one batch: events and instance projections under
-// the write lock, sandbox executions outside it (they are the slow part
-// and mutate nothing the queries read), then profiles, B additions, and
-// epoch triggers under the lock again.
+// applyBatch ingests one batch: due retries are re-drained and events
+// projected under the write lock, sandbox executions run outside it
+// (they are the slow part and mutate nothing the queries read), then
+// profiles, B additions, and epoch triggers land under the lock again.
 func (s *Service) applyBatch(events []dataset.Event, depth int) {
 	s.mu.Lock()
 	if depth > s.maxQueue {
 		s.maxQueue = depth
 	}
-	var newExec []*dataset.Sample  // executable samples first seen in this batch
-	var reExec []*dataset.Sample   // parked samples whose first-seen moved backwards
-	seenNew := make(map[string]bool) // MD5s in newExec
+	// execList collects every sample needing a sandbox run this batch:
+	// due execute-stage retries, just-relabeled executables, first-seen
+	// executables, and parked samples whose first-seen moved backwards.
+	execList, seen := s.drainRetries(false)
 	for _, e := range events {
-		if err := s.validateEvent(e); err != nil {
+		if reason, err := s.validateEvent(e); err != nil {
 			s.rejected++
-			s.lastError = err.Error()
+			s.rejectedByReason[reason]++
+			s.recordError(err.Error())
 			continue
 		}
 		var prev *dataset.Sample
@@ -289,82 +371,221 @@ func (s *Service) applyBatch(events []dataset.Event, depth int) {
 			continue
 		}
 		smp := s.ds.Sample(e.Sample.MD5)
-		if prev == nil && !seenNew[smp.MD5] {
+		if prev == nil && !seen[smp.MD5] {
 			if err := s.enricher.LabelSample(smp); err != nil {
-				s.enrichErrors++
-				s.lastError = err.Error()
+				s.noteEnrichFailure(smp.MD5, retryLabel, err)
 				continue
 			}
 			if smp.Executable {
-				newExec = append(newExec, smp)
-				seenNew[smp.MD5] = true
+				execList = append(execList, smp)
+				seen[smp.MD5] = true
 			}
-		} else if prev != nil && smp.Executable && smp.FirstSeen.Before(prevFirst) && !seenNew[smp.MD5] {
+		} else if prev != nil && smp.Executable && smp.FirstSeen.Before(prevFirst) &&
+			!seen[smp.MD5] && s.retry.get(smp.MD5) == nil && !s.isQuarantined(smp.MD5) {
 			// A late event moved the sample's first-seen instant
 			// backwards; its profile (a function of that instant) is
-			// stale. Re-execute if the B-clusterer still has it parked.
-			reExec = append(reExec, smp)
+			// stale. Re-execute; samples still in the retry pool pick
+			// the refreshed instant up on their next attempt instead.
+			execList = append(execList, smp)
+			seen[smp.MD5] = true
 		}
 	}
 	s.mu.Unlock()
 
-	// Sandbox executions: slow, read-only with respect to query-visible
-	// state, deterministic per sample. Run them on a bounded pool.
-	type outcome struct {
-		profile  *behavior.Profile
-		degraded bool
-		err      error
-	}
-	run := func(samples []*dataset.Sample) []outcome {
-		outs := make([]outcome, len(samples))
-		parallelEach(len(samples), s.cfg.Parallelism, func(i int) {
-			p, d, err := s.enricher.ExecuteSample(samples[i])
-			outs[i] = outcome{profile: p, degraded: d, err: err}
-		})
-		return outs
-	}
-	newOuts := run(newExec)
-	reOuts := run(reExec)
+	outs := s.runExecs(execList)
 
 	s.mu.Lock()
-	for i, smp := range newExec {
-		if newOuts[i].err != nil {
-			s.enrichErrors++
-			s.lastError = newOuts[i].err.Error()
+	s.applyExecResults(execList, outs)
+	s.mu.Unlock()
+}
+
+// outcome is one sandbox execution's result.
+type outcome struct {
+	profile  *behavior.Profile
+	degraded bool
+	err      error
+}
+
+// runExecs runs the sandbox executions on a bounded pool. They are
+// slow, read-only with respect to query-visible state, and
+// deterministic per sample, so they run outside the service lock.
+func (s *Service) runExecs(samples []*dataset.Sample) []outcome {
+	outs := make([]outcome, len(samples))
+	parallelEach(len(samples), s.cfg.Parallelism, func(i int) {
+		p, d, err := s.enricher.ExecuteSample(samples[i])
+		outs[i] = outcome{profile: p, degraded: d, err: err}
+	})
+	return outs
+}
+
+// applyExecResults lands one round of execution outcomes: successes
+// join (or amend) the B-clusterer and leave the retry pool, failures
+// are classified transient/permanent. Callers hold the write lock.
+func (s *Service) applyExecResults(samples []*dataset.Sample, outs []outcome) {
+	for i, smp := range samples {
+		if outs[i].err != nil {
+			s.noteEnrichFailure(smp.MD5, retryExecute, outs[i].err)
 			continue
 		}
+		if s.retry.get(smp.MD5) != nil {
+			s.retrySuccesses++
+			s.retry.remove(smp.MD5)
+		}
 		s.executed++
-		if newOuts[i].degraded {
+		if outs[i].degraded {
 			s.degraded++
 		}
-		smp.Profile = newOuts[i].profile.Features()
-		if err := s.b.Add(bcluster.Input{ID: smp.MD5, Profile: newOuts[i].profile}); err != nil {
+		smp.Profile = outs[i].profile.Features()
+		if s.b.Has(smp.MD5) {
+			if err := s.b.Amend(smp.MD5, outs[i].profile); err != nil {
+				// Already verified: its links are frozen. The refreshed
+				// profile is recorded on the sample; the membership
+				// keeps the original execution, and we surface the
+				// divergence.
+				s.staleProfiles++
+				s.recordError(err.Error())
+			}
+			continue
+		}
+		if err := s.b.Add(bcluster.Input{ID: smp.MD5, Profile: outs[i].profile}); err != nil {
 			s.enrichErrors++
-			s.lastError = err.Error()
+			s.recordError(err.Error())
 			continue
 		}
 		s.epochCheck()
 	}
-	for i, smp := range reExec {
-		if reOuts[i].err != nil {
-			s.enrichErrors++
-			s.lastError = reOuts[i].err.Error()
+}
+
+// drainRetries retries due label-stage entries inline (the oracle is
+// cheap) and returns the samples needing a sandbox run — due
+// execute-stage entries plus just-relabeled executables — with the set
+// of their MD5s. force ignores backoff deadlines. Callers hold the
+// write lock.
+func (s *Service) drainRetries(force bool) ([]*dataset.Sample, map[string]bool) {
+	var out []*dataset.Sample
+	seen := make(map[string]bool)
+	for _, e := range s.retry.due(s.applySeq, force) {
+		smp := s.ds.Sample(e.md5)
+		if smp == nil {
+			// Unreachable: entries are only created for known samples.
+			s.retry.remove(e.md5)
 			continue
 		}
-		s.executed++
-		if reOuts[i].degraded {
-			s.degraded++
-		}
-		smp.Profile = reOuts[i].profile.Features()
-		if err := s.b.Amend(smp.MD5, reOuts[i].profile); err != nil {
-			// Already verified: its links are frozen. The refreshed
-			// profile is recorded on the sample; the membership keeps
-			// the original execution, and we surface the divergence.
-			s.staleProfiles++
-			s.lastError = err.Error()
+		switch e.stage {
+		case retryLabel:
+			s.retryAttempts++
+			if err := s.enricher.LabelSample(smp); err != nil {
+				s.enrichErrors++
+				s.handleRetryFailure(e, err)
+				continue
+			}
+			s.retrySuccesses++
+			s.retry.remove(e.md5)
+			if smp.Executable {
+				out = append(out, smp)
+				seen[smp.MD5] = true
+			}
+		case retryExecute:
+			s.retryAttempts++
+			out = append(out, smp)
+			seen[smp.MD5] = true
 		}
 	}
-	s.mu.Unlock()
+	return out, seen
+}
+
+// drainAllRetries retries every pooled sample, deadlines ignored, in
+// rounds until the pool is empty: each round every entry either
+// succeeds or burns one attempt, so the loop ends within MaxAttempts
+// rounds. Flush calls it so a flushed service has nothing in flight.
+func (s *Service) drainAllRetries() {
+	for {
+		s.mu.Lock()
+		if s.retry.len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		execList, _ := s.drainRetries(true)
+		s.mu.Unlock()
+		outs := s.runExecs(execList)
+		s.mu.Lock()
+		s.applyExecResults(execList, outs)
+		s.mu.Unlock()
+	}
+}
+
+// noteEnrichFailure classifies one enrichment failure: pooled samples
+// burn an attempt, fresh transient failures enter the retry pool with
+// backoff, and permanent failures quarantine the sample. Callers hold
+// the write lock.
+func (s *Service) noteEnrichFailure(md5, stage string, err error) {
+	s.enrichErrors++
+	if e := s.retry.get(md5); e != nil {
+		s.handleRetryFailure(e, err)
+		return
+	}
+	if !enrich.IsTransient(err) || s.cfg.Retry.MaxAttempts <= 1 {
+		s.quarantine(md5, err)
+		return
+	}
+	s.retry.add(&retryEntry{
+		md5:      md5,
+		stage:    stage,
+		attempts: 1,
+		nextSeq:  s.applySeq + s.backoff(md5, 1),
+		lastErr:  err.Error(),
+	})
+	s.retryScheduled++
+	s.recordError(err.Error())
+}
+
+// handleRetryFailure burns one attempt of a pooled entry: transient
+// failures reschedule with backoff until the budget runs out,
+// non-transient ones quarantine immediately. Callers hold the write
+// lock.
+func (s *Service) handleRetryFailure(e *retryEntry, err error) {
+	e.attempts++
+	e.lastErr = err.Error()
+	if !enrich.IsTransient(err) || e.attempts >= s.cfg.Retry.MaxAttempts {
+		s.retry.remove(e.md5)
+		s.quarantine(e.md5, err)
+		return
+	}
+	e.nextSeq = s.applySeq + s.backoff(e.md5, e.attempts)
+	s.recordError(err.Error())
+}
+
+// quarantine gives up on a sample's enrichment. A sample that already
+// holds an integrated profile (a failed refresh) keeps its membership
+// and is only flagged stale; anything else is excluded from
+// B-clustering and recorded with its final error. Callers hold the
+// write lock.
+func (s *Service) quarantine(md5 string, err error) {
+	if s.b.Has(md5) {
+		s.staleProfiles++
+		s.recordError("profile refresh abandoned for " + md5 + ": " + err.Error())
+		return
+	}
+	s.quarantined[md5] = err.Error()
+	s.recordError("quarantined " + md5 + ": " + err.Error())
+}
+
+func (s *Service) isQuarantined(md5 string) bool {
+	_, ok := s.quarantined[md5]
+	return ok
+}
+
+// recordError appends to the bounded recent-errors ring. Callers hold
+// the write lock.
+func (s *Service) recordError(msg string) {
+	const ringCap = 16
+	entry := fmt.Sprintf("seq %d: %s", s.applySeq, msg)
+	if len(s.recentErrors) >= ringCap {
+		copy(s.recentErrors, s.recentErrors[1:])
+		s.recentErrors[len(s.recentErrors)-1] = entry
+		return
+	}
+	s.recentErrors = append(s.recentErrors, entry)
 }
 
 // epochCheck fires any epoch whose pending pool reached the threshold.
@@ -383,8 +604,11 @@ func (s *Service) epochCheck() {
 	}
 }
 
-// applyFlush forces the final epochs.
+// applyFlush retries every pooled sample to completion (success or
+// quarantine), then forces the final epochs: a flushed service has
+// nothing in flight.
 func (s *Service) applyFlush() {
+	s.drainAllRetries()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, d := range s.dims {
@@ -401,19 +625,20 @@ func (s *Service) applyFlush() {
 // validateEvent) keeps the previous epoch's clustering.
 func (s *Service) rebuild(d *dimension) {
 	if err := d.rebuild(); err != nil {
-		s.lastError = err.Error()
+		s.recordError(err.Error())
 	}
 }
 
 // validateEvent screens an event for the invariants the EPM engine
 // enforces, so a malformed event is rejected at the door instead of
-// poisoning a later epoch rebuild.
-func (s *Service) validateEvent(e dataset.Event) error {
+// poisoning a later epoch rebuild. The first return value is the
+// rejection-reason slug surfaced in Stats.RejectedByReason.
+func (s *Service) validateEvent(e dataset.Event) (string, error) {
 	if e.ID == "" {
-		return fmt.Errorf("stream: event with empty ID")
+		return "empty-id", fmt.Errorf("stream: event with empty ID")
 	}
 	if e.Attacker == "" || e.Sensor == "" {
-		return fmt.Errorf("stream: event %s needs attacker and sensor", e.ID)
+		return "missing-source", fmt.Errorf("stream: event %s needs attacker and sensor", e.ID)
 	}
 	check := func(in epm.Instance) error {
 		for _, v := range in.Values {
@@ -424,15 +649,17 @@ func (s *Service) validateEvent(e dataset.Event) error {
 		return nil
 	}
 	if err := check(e.EpsilonInstance()); err != nil {
-		return err
+		return "reserved-value", err
 	}
 	if err := check(e.PiInstance()); err != nil {
-		return err
+		return "reserved-value", err
 	}
 	if in, ok := e.MuInstance(); ok {
-		return check(in)
+		if err := check(in); err != nil {
+			return "reserved-value", err
+		}
 	}
-	return nil
+	return "", nil
 }
 
 // parallelEach runs fn(i) for i in [0,n) on a bounded worker pool; with
@@ -741,24 +968,27 @@ type BStats struct {
 
 // Stats is the service-wide counter snapshot.
 type Stats struct {
-	Events            int      `json:"events"`
-	Rejected          int      `json:"rejected"`
-	Duplicates        int      `json:"duplicates"`
-	Samples           int      `json:"samples"`
-	ExecutableSamples int      `json:"executable_samples"`
-	Executed          int      `json:"executed"`
-	Degraded          int      `json:"degraded"`
-	EnrichErrors      int      `json:"enrich_errors"`
-	StaleProfiles     int      `json:"stale_profiles"`
-	Flushes           int      `json:"flushes"`
-	LastError         string   `json:"last_error,omitempty"`
-	QueueCap          int      `json:"queue_cap"`
-	QueueDepth        int      `json:"queue_depth"`
-	MaxQueueDepth     int      `json:"max_queue_depth"`
-	Epsilon           DimStats `json:"epsilon"`
-	Pi                DimStats `json:"pi"`
-	Mu                DimStats `json:"mu"`
-	B                 BStats   `json:"b"`
+	Events            int            `json:"events"`
+	Rejected          int            `json:"rejected"`
+	RejectedByReason  map[string]int `json:"rejected_by_reason,omitempty"`
+	Duplicates        int            `json:"duplicates"`
+	Samples           int            `json:"samples"`
+	ExecutableSamples int            `json:"executable_samples"`
+	Executed          int            `json:"executed"`
+	Degraded          int            `json:"degraded"`
+	EnrichErrors      int            `json:"enrich_errors"`
+	StaleProfiles     int            `json:"stale_profiles"`
+	Flushes           int            `json:"flushes"`
+	RecentErrors      []string       `json:"recent_errors,omitempty"`
+	QueueCap          int            `json:"queue_cap"`
+	QueueDepth        int            `json:"queue_depth"`
+	MaxQueueDepth     int            `json:"max_queue_depth"`
+	Retry             RetryStats     `json:"retry"`
+	WAL               WALStats       `json:"wal"`
+	Epsilon           DimStats       `json:"epsilon"`
+	Pi                DimStats       `json:"pi"`
+	Mu                DimStats       `json:"mu"`
+	B                 BStats         `json:"b"`
 }
 
 // Stats snapshots the service counters.
@@ -773,9 +1003,32 @@ func (s *Service) Stats() Stats {
 		return DimStats{Epoch: d.epoch, Clusters: n, Instances: len(d.instances), Pending: d.pendingCount}
 	}
 	bs := s.b.Stats()
+	var byReason map[string]int
+	if len(s.rejectedByReason) > 0 {
+		byReason = make(map[string]int, len(s.rejectedByReason))
+		for k, v := range s.rejectedByReason {
+			byReason[k] = v
+		}
+	}
+	var recent []string
+	if len(s.recentErrors) > 0 {
+		recent = append(recent, s.recentErrors...)
+	}
+	walStats := WALStats{
+		Enabled:           s.wal != nil,
+		Appends:           s.walAppends,
+		AppendErrors:      s.walAppendErrors,
+		Checkpoints:       s.checkpoints,
+		LastCheckpointSeq: s.lastCkptSeq,
+		RecoveredRecords:  s.recoveredRecords,
+	}
+	if s.wal != nil {
+		walStats.LastSeq = s.wal.LastSeq()
+	}
 	return Stats{
 		Events:            s.events,
 		Rejected:          s.rejected,
+		RejectedByReason:  byReason,
 		Duplicates:        s.duplicates,
 		Samples:           s.ds.SampleCount(),
 		ExecutableSamples: s.ds.ExecutableSampleCount(),
@@ -784,13 +1037,21 @@ func (s *Service) Stats() Stats {
 		EnrichErrors:      s.enrichErrors,
 		StaleProfiles:     s.staleProfiles,
 		Flushes:           s.flushes,
-		LastError:         s.lastError,
+		RecentErrors:      recent,
 		QueueCap:          cap(s.in),
 		QueueDepth:        len(s.in),
 		MaxQueueDepth:     s.maxQueue,
-		Epsilon:           dimStats(s.dims[0]),
-		Pi:                dimStats(s.dims[1]),
-		Mu:                dimStats(s.dims[2]),
+		Retry: RetryStats{
+			Pending:     s.retry.len(),
+			Scheduled:   s.retryScheduled,
+			Attempts:    s.retryAttempts,
+			Successes:   s.retrySuccesses,
+			Quarantined: len(s.quarantined),
+		},
+		WAL:     walStats,
+		Epsilon: dimStats(s.dims[0]),
+		Pi:      dimStats(s.dims[1]),
+		Mu:      dimStats(s.dims[2]),
 		B: BStats{
 			Samples:        s.b.Samples(),
 			Pending:        s.b.Pending(),
@@ -800,6 +1061,17 @@ func (s *Service) Stats() Stats {
 			Links:          bs.Links,
 		},
 	}
+}
+
+// Quarantined snapshots the quarantined samples: MD5 -> final error.
+func (s *Service) Quarantined() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]string, len(s.quarantined))
+	for k, v := range s.quarantined {
+		out[k] = v
+	}
+	return out
 }
 
 // Counts mirrors core.Results.Counts for convergence checks: events,

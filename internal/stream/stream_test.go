@@ -151,8 +151,11 @@ func TestServiceRejectsAndDuplicates(t *testing.T) {
 	if st.Events != 1 || st.Rejected != 2 || st.Duplicates != 1 {
 		t.Fatalf("events=%d rejected=%d duplicates=%d, want 1/2/1", st.Events, st.Rejected, st.Duplicates)
 	}
-	if st.LastError == "" {
-		t.Fatal("LastError should record the rejection")
+	if len(st.RecentErrors) == 0 {
+		t.Fatal("RecentErrors should record the rejections")
+	}
+	if st.RejectedByReason["missing-source"] != 1 || st.RejectedByReason["reserved-value"] != 1 {
+		t.Fatalf("RejectedByReason = %v, want missing-source:1 reserved-value:1", st.RejectedByReason)
 	}
 }
 

@@ -1,0 +1,349 @@
+// Package wal implements the service's write-ahead log: a segmented,
+// append-only record log with per-record CRC framing, used by the
+// streaming landscape service to make accepted batches durable before
+// they are applied.
+//
+// On-disk layout: the directory holds segments named by the sequence
+// number of their first record (`%020d.wal`). Each record is framed as
+//
+//	[u32 length][u32 crc][u64 seq][payload]
+//
+// where length = 8 + len(payload) and the CRC (IEEE) covers seq and
+// payload. A crash can tear only the tail of the last segment; Open
+// detects the torn frame (short frame or CRC mismatch) and truncates
+// the file back to the last intact record. Corruption anywhere else is
+// unrecoverable and reported as an error.
+//
+// Sequence numbers start at 1 and are strictly contiguous across
+// segments. TruncateBefore removes sealed segments that a checkpoint
+// has made redundant; the newest segment is always retained so the
+// sequence never restarts.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	headerSize          = 16      // u32 length + u32 crc + u64 seq
+	defaultSegmentBytes = 8 << 20 // rotation threshold
+	maxRecordBytes      = 256 << 20
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options parameterize a log.
+type Options struct {
+	// Dir is the segment directory; it is created if missing.
+	Dir string
+	// SegmentBytes is the rotation threshold; once the active segment
+	// reaches it, the next append opens a new segment. 0 selects 8 MiB.
+	SegmentBytes int64
+	// NoSync skips the per-append fsync and the directory syncs. Appends
+	// then survive process crashes (the OS holds the pages) but not
+	// machine crashes; tests and benchmarks use it.
+	NoSync bool
+}
+
+// Log is an append-only record log. It is safe for concurrent use,
+// though the streaming service serializes all writes on its worker.
+type Log struct {
+	mu     sync.Mutex
+	opts   Options
+	active *os.File
+	size   int64    // bytes in the active segment
+	segs   []uint64 // first-seq of every segment on disk, ascending
+	last   uint64   // seq of the last appended record; 0 when empty
+	broken bool     // a partial write poisoned the tail
+	closed bool
+}
+
+// Open opens (or creates) the log in opts.Dir, validating every segment
+// and repairing a torn tail on the newest one.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: empty directory")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{opts: opts, segs: segs}
+	for i, first := range segs {
+		lastSeq, good, n, err := scanSegment(l.segmentPath(first), first, 0, nil)
+		tail := i == len(segs)-1
+		if err != nil {
+			if !tail {
+				return nil, fmt.Errorf("wal: segment %020d: %w", first, err)
+			}
+			// Torn tail: drop the partial frame and anything after it.
+			if terr := os.Truncate(l.segmentPath(first), good); terr != nil {
+				return nil, fmt.Errorf("wal: repairing segment %020d: %w", first, terr)
+			}
+		}
+		if n == 0 && !tail {
+			return nil, fmt.Errorf("wal: empty segment %020d is not the newest", first)
+		}
+		if n > 0 {
+			if l.last != 0 && first != l.last+1 {
+				return nil, fmt.Errorf("wal: segment %020d does not continue seq %d", first, l.last)
+			}
+			l.last = lastSeq
+		}
+		if tail {
+			f, err := os.OpenFile(l.segmentPath(first), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			l.active = f
+			l.size = good
+		}
+	}
+	return l, nil
+}
+
+// Append frames and writes one record, fsyncing unless NoSync, and
+// returns its sequence number. After a failed write the log refuses
+// further appends: the tail may be torn and only a re-Open repairs it.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.broken {
+		return 0, fmt.Errorf("wal: log poisoned by an earlier failed write; reopen to repair")
+	}
+	if int64(len(payload)) > maxRecordBytes-8 {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the frame limit", len(payload))
+	}
+	seq := l.last + 1
+	if l.active == nil || l.size >= l.opts.SegmentBytes {
+		if err := l.rotate(seq); err != nil {
+			return 0, err
+		}
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(8+len(payload)))
+	binary.BigEndian.PutUint64(frame[8:16], seq)
+	copy(frame[16:], payload)
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	if _, err := l.active.Write(frame); err != nil {
+		l.broken = true
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.active.Sync(); err != nil {
+			l.broken = true
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.size += int64(len(frame))
+	l.last = seq
+	return seq, nil
+}
+
+// Replay validates every record and calls fn, in order, for each record
+// with seq >= from. fn errors abort the replay.
+func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for _, first := range l.segs {
+		if _, _, _, err := scanSegment(l.segmentPath(first), first, from, fn); err != nil {
+			return fmt.Errorf("wal: segment %020d: %w", first, err)
+		}
+	}
+	return nil
+}
+
+// LastSeq reports the sequence number of the newest record (0 when the
+// log has none).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// TruncateBefore removes sealed segments every record of which has
+// seq < before — the garbage collection a checkpoint at before-1
+// enables. The newest segment always survives, so the sequence counter
+// persists even when the whole log is checkpointed.
+func (l *Log) TruncateBefore(before uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	keep := 0
+	for keep+1 < len(l.segs) && l.segs[keep+1] <= before {
+		keep++
+	}
+	if keep == 0 {
+		return nil
+	}
+	for _, first := range l.segs[:keep] {
+		if err := os.Remove(l.segmentPath(first)); err != nil {
+			return fmt.Errorf("wal: removing segment %020d: %w", first, err)
+		}
+	}
+	l.segs = append(l.segs[:0], l.segs[keep:]...)
+	return l.syncDir()
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	if !l.opts.NoSync && !l.broken {
+		if err := l.active.Sync(); err != nil {
+			l.active.Close()
+			return fmt.Errorf("wal: sync on close: %w", err)
+		}
+	}
+	return l.active.Close()
+}
+
+// rotate seals the active segment and opens a fresh one whose name is
+// the seq about to be written.
+func (l *Log) rotate(firstSeq uint64) error {
+	if l.active != nil {
+		if !l.opts.NoSync {
+			if err := l.active.Sync(); err != nil {
+				return fmt.Errorf("wal: sealing segment: %w", err)
+			}
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+		l.active = nil
+	}
+	f, err := os.OpenFile(l.segmentPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: new segment: %w", err)
+	}
+	l.active = f
+	l.size = 0
+	l.segs = append(l.segs, firstSeq)
+	return l.syncDir()
+}
+
+// syncDir fsyncs the directory so segment creation/removal is durable.
+func (l *Log) syncDir() error {
+	if l.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing directory: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) segmentPath(firstSeq uint64) string {
+	return filepath.Join(l.opts.Dir, fmt.Sprintf("%020d.wal", firstSeq))
+}
+
+// listSegments returns the first-seqs of the directory's segments,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment name %q is not a sequence number", name)
+		}
+		segs = append(segs, seq)
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	return segs, nil
+}
+
+// scanSegment reads one segment, validating frame integrity and seq
+// contiguity, and calls fn (when non-nil) for every record with
+// seq >= from. It returns the last seq read, the byte offset of the end
+// of the last intact record, and the record count; a torn or corrupt
+// frame is reported as an error with good set to the repair offset.
+func scanSegment(path string, firstSeq, from uint64, fn func(uint64, []byte) error) (last uint64, good int64, n int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	expect := firstSeq
+	var header [headerSize]byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			if err == io.EOF {
+				return last, good, n, nil
+			}
+			return last, good, n, fmt.Errorf("torn frame header at offset %d", good)
+		}
+		length := binary.BigEndian.Uint32(header[0:4])
+		if length < 8 || int64(length) > maxRecordBytes {
+			return last, good, n, fmt.Errorf("implausible frame length %d at offset %d", length, good)
+		}
+		payload := make([]byte, length-8)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return last, good, n, fmt.Errorf("torn frame payload at offset %d", good)
+		}
+		crc := crc32.ChecksumIEEE(header[8:])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != binary.BigEndian.Uint32(header[4:8]) {
+			return last, good, n, fmt.Errorf("crc mismatch at offset %d", good)
+		}
+		seq := binary.BigEndian.Uint64(header[8:16])
+		if seq != expect {
+			return last, good, n, fmt.Errorf("record seq %d at offset %d, want %d", seq, good, expect)
+		}
+		if fn != nil && seq >= from {
+			if err := fn(seq, payload); err != nil {
+				return last, good, n, err
+			}
+		}
+		last = seq
+		expect = seq + 1
+		good += int64(headerSize + len(payload))
+		n++
+	}
+}

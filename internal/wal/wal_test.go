@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{Dir: t.TempDir(), NoSync: true}
+}
+
+func mustAppend(t *testing.T, l *Log, payload string) uint64 {
+	t.Helper()
+	seq, err := l.Append([]byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	out := map[uint64]string{}
+	if err := l.Replay(from, func(seq uint64, payload []byte) error {
+		out[seq] = string(payload)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	opts := testOptions(t)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if seq := mustAppend(t, l, fmt.Sprintf("rec-%d", i)); seq != uint64(i) {
+			t.Fatalf("append %d got seq %d", i, seq)
+		}
+	}
+	if l.LastSeq() != 5 {
+		t.Fatalf("LastSeq = %d, want 5", l.LastSeq())
+	}
+	got := collect(t, l, 0)
+	if len(got) != 5 || got[3] != "rec-3" {
+		t.Fatalf("replay: %v", got)
+	}
+	if got := collect(t, l, 4); len(got) != 2 || got[4] != "rec-4" || got[5] != "rec-5" {
+		t.Fatalf("replay from 4: %v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen resumes the sequence where it stopped.
+	l2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 5 {
+		t.Fatalf("reopened LastSeq = %d, want 5", l2.LastSeq())
+	}
+	if seq := mustAppend(t, l2, "rec-6"); seq != 6 {
+		t.Fatalf("append after reopen got seq %d, want 6", seq)
+	}
+	if got := collect(t, l2, 0); len(got) != 6 {
+		t.Fatalf("replay after reopen: %v", got)
+	}
+}
+
+func TestRotationAndTruncateBefore(t *testing.T) {
+	opts := testOptions(t)
+	opts.SegmentBytes = 1 // rotate on every append after the first
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, fmt.Sprintf("rec-%d", i))
+	}
+	if n := countSegments(t, opts.Dir); n != 6 {
+		t.Fatalf("%d segments, want 6", n)
+	}
+	if err := l.TruncateBefore(4); err != nil {
+		t.Fatal(err)
+	}
+	if n := countSegments(t, opts.Dir); n != 3 {
+		t.Fatalf("%d segments after TruncateBefore(4), want 3", n)
+	}
+	if got := collect(t, l, 0); len(got) != 3 || got[4] != "rec-4" {
+		t.Fatalf("replay after truncate: %v", got)
+	}
+	// The newest segment always survives, so the sequence continues.
+	if err := l.TruncateBefore(100); err != nil {
+		t.Fatal(err)
+	}
+	if n := countSegments(t, opts.Dir); n != 1 {
+		t.Fatalf("%d segments after TruncateBefore(100), want 1", n)
+	}
+	if seq := mustAppend(t, l, "rec-7"); seq != 7 {
+		t.Fatalf("append after truncate-all got seq %d, want 7", seq)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	opts := testOptions(t)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, "intact-1")
+	mustAppend(t, l, "intact-2")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append half a frame to the only segment.
+	path := onlySegment(t, opts.Dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 42, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 0); len(got) != 2 || got[2] != "intact-2" {
+		t.Fatalf("replay after repair: %v", got)
+	}
+	if seq := mustAppend(t, l2, "intact-3"); seq != 3 {
+		t.Fatalf("append after repair got seq %d, want 3", seq)
+	}
+	if got := collect(t, l2, 0); len(got) != 3 {
+		t.Fatalf("replay after repaired append: %v", got)
+	}
+}
+
+func TestCorruptRecordTruncatedOnOpen(t *testing.T) {
+	opts := testOptions(t)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, "intact")
+	seq2 := mustAppend(t, l, "to-corrupt")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record; its CRC now fails, so
+	// Open must drop it (and would drop anything after it).
+	path := onlySegment(t, opts.Dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1 := headerSize + len("intact")
+	data[rec1+headerSize] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open with corrupt tail record: %v", err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != seq2-1 {
+		t.Fatalf("LastSeq = %d after repair, want %d", l2.LastSeq(), seq2-1)
+	}
+	if got := collect(t, l2, 0); len(got) != 1 || got[1] != "intact" {
+		t.Fatalf("replay after repair: %v", got)
+	}
+}
+
+func TestCorruptionInSealedSegmentIsFatal(t *testing.T) {
+	opts := testOptions(t)
+	opts.SegmentBytes = 1
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, "sealed")
+	mustAppend(t, l, "newest")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the sealed (non-newest) segment: that is data loss the log
+	// cannot repair, so Open must refuse rather than silently skip.
+	path := filepath.Join(opts.Dir, fmt.Sprintf("%020d.wal", 1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(opts); err == nil {
+		t.Fatal("Open must fail on a corrupt sealed segment")
+	}
+}
+
+func TestSeqGapIsFatal(t *testing.T) {
+	opts := testOptions(t)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, "one")
+	mustAppend(t, l, "two")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite record 2's seq to 7 (with a matching CRC): contiguity is
+	// broken, and the repair policy is truncation at the gap.
+	path := onlySegment(t, opts.Dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := headerSize + len("one")
+	binary.BigEndian.PutUint64(data[off+8:off+16], 7)
+	// Recompute the CRC so only the seq is wrong.
+	crc := crc32.ChecksumIEEE(data[off+8 : off+16+len("two")])
+	binary.BigEndian.PutUint32(data[off+4:off+8], crc)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open with seq gap in tail: %v", err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 0); len(got) != 1 {
+		t.Fatalf("replay after gap repair: %v", got)
+	}
+}
+
+func countSegments(t *testing.T, dir string) int {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(segs)
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	return filepath.Join(dir, fmt.Sprintf("%020d.wal", segs[0]))
+}
