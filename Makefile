@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json run-landscaped smoke-landscaped smoke-crash
+.PHONY: check vet test race bench bench-json run-landscaped smoke-landscaped smoke-crash smoke-overload fuzz-smoke
 
 check: vet test race
 
@@ -66,3 +66,19 @@ smoke-crash:
 		-batch 100 -replay-offset 350 -replay-verify; \
 	RC=$$?; kill -TERM $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
 	rm -rf /tmp/landscaped-crash /tmp/landscaped-crash-wal; exit $$RC
+
+# Overload smoke: a seeded multi-client load generator (internal/loadgen)
+# drives the service >=10x past a pinned apply capacity over HTTP and
+# asserts the no-collapse throughput band, fast structured rejections,
+# per-client fairness, monotonic admission counters, and post-pressure
+# convergence with the batch pipeline. Mirrors the CI "Overload smoke"
+# step.
+smoke-overload:
+	go test -count=1 -run TestOverloadSmoke -v ./internal/loadgen/
+
+# Short coverage-guided fuzz of the ingest decode -> validate -> apply
+# path (FuzzIngestPipeline). The minimize budget is capped in execs so a
+# noisy-coverage input cannot eat the whole fuzz window.
+fuzz-smoke:
+	go test -count=1 -run '^$$' -fuzz FuzzIngestPipeline -fuzztime 30s \
+		-fuzzminimizetime 20x ./internal/httpapi/

@@ -15,11 +15,22 @@
 // startup — the listener comes up immediately and /readyz reports 503
 // until the checkpoint is loaded and the WAL suffix replayed.
 //
+// Overload protection (all off by default, see DESIGN.md §9): with
+// -rate-limit each client (X-Client-ID header, else remote IP) gets a
+// token-bucket events/sec budget; -admission-deadline bounds how long
+// an ingest may wait for queue space; -shed-target sheds batches when
+// the smoothed queue delay overshoots; -degrade-target defers epoch
+// work under sustained pressure. Refused work answers 429 (client
+// should slow down) or 503 (service saturated) with a Retry-After
+// header instead of blocking the connection.
+//
 // Usage:
 //
 //	landscaped [-addr :8844] [-seed N] [-small] [-scenario file.json]
 //	           [-epoch 256] [-queue 16] [-batch 64]
 //	           [-wal-dir DIR] [-checkpoint-every 64] [-wal-nosync]
+//	           [-rate-limit N] [-burst N] [-admission-deadline D]
+//	           [-shed-target D] [-degrade-target D] [-max-waiters N]
 //	landscaped -replay [flags]          # in-process replay + convergence check
 //	landscaped -replay-to URL [flags]   # replay the scenario over HTTP
 //	           [-replay-offset N] [-replay-limit N] [-replay-verify]
@@ -40,7 +51,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,13 +62,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
-	"repro/internal/dataset"
+	"repro/internal/httpapi"
 	"repro/internal/stream"
 )
-
-// maxIngestBody caps /v1/ingest request bodies; larger posts get 413.
-const maxIngestBody = 64 << 20
 
 type options struct {
 	addr         string
@@ -73,6 +81,13 @@ type options struct {
 	walDir          string
 	checkpointEvery int
 	walNoSync       bool
+
+	rateLimit         float64
+	burst             int
+	admissionDeadline time.Duration
+	shedTarget        time.Duration
+	degradeTarget     time.Duration
+	maxWaiters        int
 
 	replay       bool
 	replayTo     string
@@ -94,6 +109,12 @@ func main() {
 	flag.StringVar(&o.walDir, "wal-dir", "", "durability directory for the write-ahead log and checkpoints (empty = memory-only)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 64, "checkpoint automatically after every N applied batches (0 = only on /v1/checkpoint)")
 	flag.BoolVar(&o.walNoSync, "wal-nosync", false, "skip fsyncs on the WAL and checkpoints (faster, loses the last writes on power failure)")
+	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "per-client admission budget in events/sec, keyed by X-Client-ID or remote IP (0 = unlimited)")
+	flag.IntVar(&o.burst, "burst", 0, "per-client token-bucket capacity in events (0 = max(rate-limit, 1))")
+	flag.DurationVar(&o.admissionDeadline, "admission-deadline", 0, "longest an ingest may wait for queue space before a 429 (0 = block indefinitely)")
+	flag.DurationVar(&o.shedTarget, "shed-target", 0, "smoothed queue-delay target; above it incoming batches are shed with 503s (0 = never shed)")
+	flag.DurationVar(&o.degradeTarget, "degrade-target", 0, "smoothed queue-delay threshold for degraded mode: epoch work deferred, queries marked degraded (0 = never degrade)")
+	flag.IntVar(&o.maxWaiters, "max-waiters", 0, "producers allowed to block on a full queue before fast 503s (0 = unlimited)")
 	flag.BoolVar(&o.replay, "replay", false, "replay the scenario in-process, assert convergence with the batch pipeline, and exit")
 	flag.StringVar(&o.replayTo, "replay-to", "", "replay the scenario's events over HTTP to a running landscaped at this base URL, then exit")
 	flag.IntVar(&o.replayOffset, "replay-offset", 0, "with -replay-to: skip the first N events")
@@ -129,6 +150,15 @@ func run(o options) error {
 		Parallelism: o.parallelism,
 		Thresholds:  scenario.Thresholds,
 		BCluster:    scenario.Enrichment.BCluster,
+		Admission: admission.Config{
+			RatePerSec:    o.rateLimit,
+			Burst:         o.burst,
+			Deadline:      o.admissionDeadline,
+			ShedTarget:    o.shedTarget,
+			DegradeTarget: o.degradeTarget,
+			MaxWaiters:    o.maxWaiters,
+			Seed:          o.seed,
+		},
 	}
 	if o.walDir != "" {
 		cfg.Durability = stream.Durability{
@@ -158,7 +188,7 @@ func run(o options) error {
 func serve(scenario core.Scenario, cfg stream.Config, addr string) error {
 	var svcp atomic.Pointer[stream.Service]
 	server := &http.Server{
-		Handler:           newHandler(svcp.Load, maxIngestBody),
+		Handler:           httpapi.New(svcp.Load, 0),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      time.Minute,
@@ -393,103 +423,3 @@ func post(client *http.Client, url string, body []byte) error {
 	return nil
 }
 
-// newHandler builds the HTTP API. get returns nil until the service has
-// finished recovering; until then every service endpoint answers 503
-// while /healthz (liveness) stays 200.
-func newHandler(get func() *stream.Service, maxBody int64) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if get() == nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(map[string]string{"status": "recovering"})
-			return
-		}
-		writeJSON(w, map[string]string{"status": "ready"})
-	})
-	// ready wraps a handler with the recovery gate.
-	ready := func(h func(svc *stream.Service, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			svc := get()
-			if svc == nil {
-				httpError(w, http.StatusServiceUnavailable, errors.New("service is recovering"))
-				return
-			}
-			h(svc, w, r)
-		}
-	}
-	mux.HandleFunc("GET /v1/stats", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, svc.Stats())
-	}))
-	mux.HandleFunc("POST /v1/ingest", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-		var events []dataset.Event
-		if err := json.NewDecoder(r.Body).Decode(&events); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				httpError(w, http.StatusRequestEntityTooLarge,
-					fmt.Errorf("request body exceeds %d bytes; split the batch", tooBig.Limit))
-				return
-			}
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding events: %w", err))
-			return
-		}
-		if err := svc.Ingest(r.Context(), events); err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, map[string]int{"queued": len(events)})
-	}))
-	mux.HandleFunc("POST /v1/flush", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
-		if err := svc.Flush(r.Context()); err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, map[string]string{"status": "flushed"})
-	}))
-	mux.HandleFunc("POST /v1/checkpoint", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
-		if err := svc.Checkpoint(r.Context()); err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, map[string]string{"status": "checkpointed"})
-	}))
-	mux.HandleFunc("GET /v1/clusters/{dim}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
-		dim := r.PathValue("dim")
-		if dim == "b" {
-			writeJSON(w, svc.BClusters())
-			return
-		}
-		view, err := svc.EPMClusters(dim)
-		if err != nil {
-			httpError(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, view)
-	}))
-	mux.HandleFunc("GET /v1/sample/{id}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
-		view, ok := svc.Sample(r.PathValue("id"))
-		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sample %q", r.PathValue("id")))
-			return
-		}
-		writeJSON(w, view)
-	}))
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}

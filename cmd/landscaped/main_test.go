@@ -1,216 +1,13 @@
 package main
 
 import (
-	"encoding/json"
-	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 
-	"repro/internal/behavior"
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/enrich"
 	"repro/internal/stream"
 )
-
-// TestHandlerEndToEnd drives the HTTP API against a real service hosting
-// the small scenario: ingest the simulated events, flush, and query every
-// endpoint.
-func TestHandlerEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("replays the SmallScenario over HTTP")
-	}
-	scenario := core.SmallScenario()
-	_, sim, pipe, err := core.Prepare(scenario)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := stream.DefaultConfig()
-	cfg.Thresholds = scenario.Thresholds
-	cfg.BCluster = scenario.Enrichment.BCluster
-	svc, err := stream.New(cfg, pipe)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer svc.Close()
-
-	ts := httptest.NewServer(newHandler(func() *stream.Service { return svc }, maxIngestBody))
-	defer ts.Close()
-
-	events := sim.Dataset.Events()
-	body, err := json.Marshal(events)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("ingest: %s", resp.Status)
-	}
-	if resp, err = http.Post(ts.URL+"/v1/flush", "application/json", nil); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("flush: %s", resp.Status)
-	}
-
-	getJSON := func(path string, into any) int {
-		t.Helper()
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
-				t.Fatalf("%s: %v", path, err)
-			}
-		}
-		return resp.StatusCode
-	}
-
-	var health map[string]string
-	if code := getJSON("/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
-		t.Fatalf("healthz: code=%d body=%v", code, health)
-	}
-
-	var stats stream.Stats
-	if code := getJSON("/v1/stats", &stats); code != http.StatusOK {
-		t.Fatalf("stats: %d", code)
-	}
-	if stats.Events != len(events) || stats.Rejected != 0 || stats.EnrichErrors != 0 {
-		t.Fatalf("stats after replay: %+v", stats)
-	}
-
-	for _, dim := range []string{"e", "epsilon", "p", "m"} {
-		var view stream.EPMView
-		if code := getJSON("/v1/clusters/"+dim, &view); code != http.StatusOK {
-			t.Fatalf("clusters/%s: %d", dim, code)
-		}
-		if len(view.Clusters) == 0 {
-			t.Fatalf("clusters/%s: empty", dim)
-		}
-	}
-	var bview stream.BView
-	if code := getJSON("/v1/clusters/b", &bview); code != http.StatusOK || len(bview.Clusters) == 0 {
-		t.Fatalf("clusters/b: code=%d clusters=%d", code, len(bview.Clusters))
-	}
-	var junk map[string]string
-	if code := getJSON("/v1/clusters/nope", &junk); code != http.StatusNotFound {
-		t.Fatalf("clusters/nope: %d, want 404", code)
-	}
-
-	var sample stream.SampleView
-	md5 := bview.Clusters[0].Representative
-	if code := getJSON("/v1/sample/"+md5, &sample); code != http.StatusOK || sample.MD5 != md5 {
-		t.Fatalf("sample/%s: code=%d view=%+v", md5, code, sample)
-	}
-	if code := getJSON("/v1/sample/absent", &junk); code != http.StatusNotFound {
-		t.Fatalf("sample/absent: %d, want 404", code)
-	}
-
-	// Malformed ingest body is a client error, not a service failure.
-	if resp, err = http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader("{not json")); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed ingest: %s, want 400", resp.Status)
-	}
-}
-
-// nopEnricher satisfies stream.Enricher for handler-level tests that
-// never reach enrichment.
-type nopEnricher struct{}
-
-func (nopEnricher) LabelSample(s *dataset.Sample) error { return nil }
-func (nopEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
-	return behavior.NewProfile(), false, nil
-}
-
-// TestHandlerRecoveryGate checks the readiness split: while the service
-// is still recovering (get returns nil), /healthz stays alive, /readyz
-// and every service endpoint answer 503; once ready, /readyz flips.
-func TestHandlerRecoveryGate(t *testing.T) {
-	var svc *stream.Service
-	ts := httptest.NewServer(newHandler(func() *stream.Service { return svc }, maxIngestBody))
-	defer ts.Close()
-
-	status := func(method, path string) int {
-		t.Helper()
-		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader("[]"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		return resp.StatusCode
-	}
-
-	if code := status("GET", "/healthz"); code != http.StatusOK {
-		t.Fatalf("healthz while recovering: %d, want 200", code)
-	}
-	for path, method := range map[string]string{
-		"/readyz": "GET", "/v1/stats": "GET", "/v1/ingest": "POST", "/v1/flush": "POST",
-	} {
-		if code := status(method, path); code != http.StatusServiceUnavailable {
-			t.Fatalf("%s while recovering: %d, want 503", path, code)
-		}
-	}
-
-	real, err := stream.New(stream.DefaultConfig(), nopEnricher{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer real.Close()
-	svc = real
-	if code := status("GET", "/readyz"); code != http.StatusOK {
-		t.Fatalf("readyz when ready: %d, want 200", code)
-	}
-}
-
-// TestIngestBodyCap checks oversized /v1/ingest bodies are refused with
-// 413 before they reach the service.
-func TestIngestBodyCap(t *testing.T) {
-	svc, err := stream.New(stream.DefaultConfig(), nopEnricher{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer svc.Close()
-	ts := httptest.NewServer(newHandler(func() *stream.Service { return svc }, 256))
-	defer ts.Close()
-
-	big := "[" + strings.Repeat(" ", 1024) + "]"
-	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(big))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversized ingest: %s, want 413", resp.Status)
-	}
-	var body map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
-		t.Fatalf("413 body = %v, %v; want an error message", body, err)
-	}
-	// A small body still lands.
-	resp, err = http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader("[]"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("small ingest after cap test: %s, want 200", resp.Status)
-	}
-}
 
 // TestConvergeStreamFailsMidStream is the -replay exit-path regression:
 // a replay that dies mid-stream (service closed under it) must surface

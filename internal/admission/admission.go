@@ -1,0 +1,328 @@
+// Package admission implements the overload-protection primitives of
+// the streaming landscape service: per-client token-bucket rate
+// limiting, a CoDel-style adaptive load shedder driven by smoothed
+// queue delay, and the typed Rejection error that carries an admission
+// decision (reason + suggested retry-after) up to the HTTP layer, where
+// it maps to 429/503 with a Retry-After header instead of blocking the
+// connection.
+//
+// Everything here is deterministic under injected inputs: the limiter
+// takes an injectable clock, and the shedder draws from a seeded PRNG,
+// so the overload harness (internal/loadgen) and the unit tests
+// reproduce admission decisions exactly.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reason is the admission-rejection taxonomy. Each value is the slug
+// surfaced in Stats.Admission.RejectedBatches and in HTTP error bodies.
+type Reason string
+
+const (
+	// ReasonRateLimit: the client's token bucket is empty — it exceeded
+	// its configured events/sec budget. Maps to 429.
+	ReasonRateLimit Reason = "rate-limit"
+	// ReasonDeadline: the ingest queue stayed full past the admission
+	// deadline. Maps to 429 — the service is alive, retry later.
+	ReasonDeadline Reason = "deadline"
+	// ReasonQueueFull: the global waiter budget is exhausted — too many
+	// producers are already blocked on the queue. Maps to 503.
+	ReasonQueueFull Reason = "queue-full"
+	// ReasonShed: the adaptive shedder dropped the batch because the
+	// smoothed queue delay exceeds the target. Maps to 503.
+	ReasonShed Reason = "shed"
+)
+
+// Rejection is a typed admission refusal: why, and when a retry is
+// worth attempting. It is returned as an error by the service's ingest
+// path and unwrapped by the HTTP layer via AsRejection.
+type Rejection struct {
+	Reason     Reason
+	RetryAfter time.Duration
+}
+
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("admission: rejected (%s), retry after %s", r.Reason, r.RetryAfter.Round(time.Millisecond))
+}
+
+// AsRejection unwraps an admission rejection from an error chain.
+func AsRejection(err error) (*Rejection, bool) {
+	var rej *Rejection
+	if errors.As(err, &rej) {
+		return rej, true
+	}
+	return nil, false
+}
+
+// Config bundles every overload-protection knob. The zero value
+// disables every mechanism: no rate limiting, no deadline (producers
+// block indefinitely, the pre-admission behavior), no shedding, no
+// degraded mode — the layer is strictly additive.
+type Config struct {
+	// RatePerSec is the per-client admission budget in events per
+	// second; 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket capacity in events; 0 selects
+	// max(RatePerSec, 1). A batch larger than Burst can never be
+	// admitted by a rate-limited client.
+	Burst int
+	// Deadline bounds how long an ingest may wait for queue space
+	// before it is rejected with ReasonDeadline; 0 blocks indefinitely.
+	Deadline time.Duration
+	// ShedTarget is the smoothed queue-delay target: above it, incoming
+	// batches are shed probabilistically, with probability growing
+	// linearly in the overshoot. 0 disables shedding.
+	ShedTarget time.Duration
+	// DegradeTarget is the smoothed queue-delay threshold for degraded
+	// mode (EPM rebuild and B verification epochs deferred); the service
+	// exits degraded mode once the delay falls below half the target.
+	// 0 disables degraded mode.
+	DegradeTarget time.Duration
+	// MaxWaiters bounds the producers simultaneously blocked on the
+	// ingest queue; beyond it, admission fails fast with
+	// ReasonQueueFull. 0 is unlimited.
+	MaxWaiters int
+	// Seed drives the shedder's PRNG; 0 selects 1.
+	Seed uint64
+	// MaxClients bounds the limiter's bucket table; 0 selects 4096.
+	MaxClients int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RatePerSec < 0 || math.IsNaN(c.RatePerSec) || math.IsInf(c.RatePerSec, 0) {
+		return fmt.Errorf("admission: RatePerSec %v is invalid", c.RatePerSec)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("admission: Burst %d is negative", c.Burst)
+	}
+	if c.Deadline < 0 || c.ShedTarget < 0 || c.DegradeTarget < 0 {
+		return fmt.Errorf("admission: negative duration knob: %+v", c)
+	}
+	if c.MaxWaiters < 0 || c.MaxClients < 0 {
+		return fmt.Errorf("admission: negative budget knob: %+v", c)
+	}
+	return nil
+}
+
+// Enabled reports whether any overload-protection mechanism is on.
+func (c Config) Enabled() bool {
+	return c.RatePerSec > 0 || c.Deadline > 0 || c.ShedTarget > 0 ||
+		c.DegradeTarget > 0 || c.MaxWaiters > 0
+}
+
+// Limiter is a per-client token-bucket rate limiter. Buckets refill
+// continuously at rate tokens/sec up to burst; a client key is whatever
+// the caller derives (the HTTP layer uses the X-Client-ID header,
+// falling back to the remote IP).
+type Limiter struct {
+	rate       float64
+	burst      float64
+	maxClients int
+	now        func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter. now is injectable for tests; nil selects
+// time.Now. A rate of 0 yields a nil limiter (disabled).
+func NewLimiter(rate float64, burst, maxClients int, now func() time.Time) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = int(math.Max(rate, 1))
+	}
+	if maxClients <= 0 {
+		maxClients = 4096
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Limiter{
+		rate:       rate,
+		burst:      float64(burst),
+		maxClients: maxClients,
+		now:        now,
+		buckets:    make(map[string]*bucket),
+	}
+}
+
+// Admit spends n tokens from the client's bucket, admitting the batch
+// when they are available and returning a ReasonRateLimit rejection —
+// with the time until the deficit refills — otherwise. A nil limiter
+// admits everything.
+func (l *Limiter) Admit(client string, n int) *Rejection {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		l.prune()
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+	}
+	b.last = now
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return nil
+	}
+	deficit := need - b.tokens
+	return &Rejection{
+		Reason:     ReasonRateLimit,
+		RetryAfter: time.Duration(deficit / l.rate * float64(time.Second)),
+	}
+}
+
+// prune evicts fully refilled (idle) buckets once the table exceeds its
+// cap, so a churn of client keys cannot grow memory without bound.
+// Callers hold the mutex.
+func (l *Limiter) prune() {
+	if len(l.buckets) < l.maxClients {
+		return
+	}
+	now := l.now()
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// Clients reports the live bucket count.
+func (l *Limiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Shedder decides, per incoming batch, whether to shed it based on the
+// smoothed queue delay (CoDel's signal: sojourn time, not queue
+// length). Below the target nothing is shed; above it, the drop
+// probability grows linearly with the overshoot up to a ceiling, so a
+// mild overload sheds a trickle and a deep one sheds most of the flood
+// — enough for the queue to drain back to the target. Shedding is
+// additionally gated on actual queue occupancy: a stale high delay
+// estimate over an empty queue must not drop traffic the worker could
+// serve immediately.
+type Shedder struct {
+	target time.Duration
+
+	mu  sync.Mutex
+	rng uint64
+}
+
+// maxShedProbability caps the drop rate so a compliant trickle always
+// retains a fighting chance even under a deep flood.
+const maxShedProbability = 0.95
+
+// NewShedder builds a shedder with a seeded PRNG; target 0 yields nil
+// (disabled).
+func NewShedder(target time.Duration, seed uint64) *Shedder {
+	if target <= 0 {
+		return nil
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Shedder{target: target, rng: seed}
+}
+
+// Probability returns the drop probability for a smoothed delay: 0 at
+// or below the target, then (delay-target)/(2*target) capped at
+// maxShedProbability — the linear control law documented in DESIGN §9.
+func (sh *Shedder) Probability(delay time.Duration) float64 {
+	if sh == nil || delay <= sh.target {
+		return 0
+	}
+	p := float64(delay-sh.target) / float64(2*sh.target)
+	return math.Min(p, maxShedProbability)
+}
+
+// Decide rolls the seeded PRNG against Probability(delay). depth and
+// capacity describe the ingest queue; with the queue less than half
+// full nothing is shed regardless of the delay estimate.
+func (sh *Shedder) Decide(delay time.Duration, depth, capacity int) (bool, float64) {
+	if sh == nil || capacity <= 0 || depth*2 < capacity {
+		return false, 0
+	}
+	p := sh.Probability(delay)
+	if p == 0 {
+		return false, 0
+	}
+	sh.mu.Lock()
+	// xorshift64*: tiny, seedable, plenty for a drop decision.
+	x := sh.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	sh.rng = x
+	sh.mu.Unlock()
+	r := float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+	return r < p, p
+}
+
+// EWMA is a lock-free exponentially weighted moving average of
+// durations, written by the apply worker on every dequeue and read by
+// concurrent admission decisions.
+type EWMA struct {
+	v atomic.Int64 // nanoseconds
+}
+
+// ewmaAlpha weights each new observation; ~0.2 smooths over the last
+// handful of batches without lagging a pressure change by much.
+const ewmaAlpha = 0.2
+
+// Observe folds one queue-wait sample in and returns the new average.
+func (e *EWMA) Observe(d time.Duration) time.Duration {
+	for {
+		old := e.v.Load()
+		next := old + int64(ewmaAlpha*float64(int64(d)-old))
+		if old == 0 {
+			next = int64(d)
+		}
+		if e.v.CompareAndSwap(old, next) {
+			return time.Duration(next)
+		}
+	}
+}
+
+// Load returns the current average.
+func (e *EWMA) Load() time.Duration { return time.Duration(e.v.Load()) }
+
+// RetryAfterHint suggests a client backoff from the smoothed queue
+// delay: at least a second, at most a minute, otherwise twice the
+// current delay — long enough for the queue to turn over.
+func RetryAfterHint(delay time.Duration) time.Duration {
+	hint := 2 * delay
+	if hint < time.Second {
+		hint = time.Second
+	}
+	if hint > time.Minute {
+		hint = time.Minute
+	}
+	return hint
+}

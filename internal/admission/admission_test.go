@@ -1,0 +1,188 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLimiterBucketRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)}
+	l := NewLimiter(10, 20, 0, clk.now)
+
+	// A fresh client starts with a full burst.
+	if rej := l.Admit("a", 20); rej != nil {
+		t.Fatalf("burst-sized first batch rejected: %v", rej)
+	}
+	// The bucket is now empty; the next event is refused with a
+	// deficit-proportional retry hint.
+	rej := l.Admit("a", 5)
+	if rej == nil || rej.Reason != ReasonRateLimit {
+		t.Fatalf("drained bucket admitted: %v", rej)
+	}
+	if want := 500 * time.Millisecond; rej.RetryAfter != want {
+		t.Fatalf("RetryAfter = %v, want %v (5 tokens at 10/s)", rej.RetryAfter, want)
+	}
+	// Refill at 10 tokens/sec: after 500ms the 5-token batch fits.
+	clk.advance(500 * time.Millisecond)
+	if rej := l.Admit("a", 5); rej != nil {
+		t.Fatalf("refilled bucket rejected: %v", rej)
+	}
+	// Clients are independent.
+	if rej := l.Admit("b", 20); rej != nil {
+		t.Fatalf("second client shares the first's bucket: %v", rej)
+	}
+}
+
+func TestLimiterOverBurstBatchNeverAdmits(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(10, 4, 0, clk.now)
+	rej := l.Admit("a", 8)
+	if rej == nil || rej.Reason != ReasonRateLimit {
+		t.Fatalf("over-burst batch admitted: %v", rej)
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	if l := NewLimiter(0, 0, 0, nil); l != nil {
+		t.Fatal("rate 0 must yield a nil (disabled) limiter")
+	}
+	var l *Limiter
+	if rej := l.Admit("anyone", 1_000_000); rej != nil {
+		t.Fatalf("nil limiter rejected: %v", rej)
+	}
+}
+
+func TestLimiterPrunesIdleClients(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(100, 10, 8, clk.now)
+	for i := 0; i < 8; i++ {
+		l.Admit(fmt.Sprintf("c%d", i), 10)
+	}
+	// All 8 buckets are drained (not prunable); refill them, then a new
+	// client must trigger eviction of the now-idle ones.
+	clk.advance(time.Second)
+	if l.Admit("fresh", 1) != nil {
+		t.Fatal("fresh client rejected")
+	}
+	if n := l.Clients(); n > 2 {
+		t.Fatalf("bucket table holds %d clients after prune, want <= 2", n)
+	}
+}
+
+func TestShedderControlLaw(t *testing.T) {
+	sh := NewShedder(10*time.Millisecond, 7)
+	if p := sh.Probability(10 * time.Millisecond); p != 0 {
+		t.Fatalf("at-target probability = %v, want 0", p)
+	}
+	if p := sh.Probability(20 * time.Millisecond); p != 0.5 {
+		t.Fatalf("2x-target probability = %v, want 0.5", p)
+	}
+	if p := sh.Probability(time.Hour); p != maxShedProbability {
+		t.Fatalf("deep-overload probability = %v, want cap %v", p, maxShedProbability)
+	}
+	// Below half-full queues nothing is shed, whatever the delay says.
+	if drop, _ := sh.Decide(time.Hour, 0, 16); drop {
+		t.Fatal("shed over an empty queue")
+	}
+	// A full queue over a deep overload sheds nearly everything.
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if drop, _ := sh.Decide(time.Hour, 16, 16); drop {
+			drops++
+		}
+	}
+	if drops < 900 || drops == 1000 {
+		t.Fatalf("deep-overload shed %d/1000, want ~%v capped below 1000", drops, maxShedProbability)
+	}
+}
+
+func TestShedderDeterministicUnderSeed(t *testing.T) {
+	run := func() []bool {
+		sh := NewShedder(time.Millisecond, 42)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i], _ = sh.Decide(3*time.Millisecond, 8, 8)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverges across identically seeded shedders", i)
+		}
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	var e EWMA
+	if e.Load() != 0 {
+		t.Fatal("fresh EWMA nonzero")
+	}
+	// The first observation seeds the average directly.
+	if got := e.Observe(100 * time.Millisecond); got != 100*time.Millisecond {
+		t.Fatalf("first observation = %v, want 100ms", got)
+	}
+	for i := 0; i < 100; i++ {
+		e.Observe(10 * time.Millisecond)
+	}
+	if got := e.Load(); got > 11*time.Millisecond {
+		t.Fatalf("EWMA stuck at %v after 100 observations of 10ms", got)
+	}
+}
+
+func TestRejectionAsError(t *testing.T) {
+	rej := &Rejection{Reason: ReasonShed, RetryAfter: 2 * time.Second}
+	wrapped := fmt.Errorf("ingest: %w", rej)
+	got, ok := AsRejection(wrapped)
+	if !ok || got.Reason != ReasonShed || got.RetryAfter != 2*time.Second {
+		t.Fatalf("AsRejection(%v) = %+v, %v", wrapped, got, ok)
+	}
+	if _, ok := AsRejection(errors.New("plain")); ok {
+		t.Fatal("plain error must not unwrap as a rejection")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{RatePerSec: 100, Burst: 10, Deadline: time.Second, ShedTarget: time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !good.Enabled() {
+		t.Fatal("configured knobs must report enabled")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must report disabled")
+	}
+	for _, bad := range []Config{
+		{RatePerSec: -1},
+		{Burst: -1},
+		{Deadline: -time.Second},
+		{ShedTarget: -time.Second},
+		{DegradeTarget: -time.Second},
+		{MaxWaiters: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v must fail validation", bad)
+		}
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	if got := RetryAfterHint(0); got != time.Second {
+		t.Fatalf("hint floor = %v, want 1s", got)
+	}
+	if got := RetryAfterHint(5 * time.Second); got != 10*time.Second {
+		t.Fatalf("hint = %v, want 2x delay", got)
+	}
+	if got := RetryAfterHint(time.Hour); got != time.Minute {
+		t.Fatalf("hint cap = %v, want 1m", got)
+	}
+}

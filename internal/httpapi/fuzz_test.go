@@ -1,0 +1,85 @@
+package httpapi_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/httpapi"
+	"repro/internal/stream"
+)
+
+// FuzzIngestPipeline fuzzes the full ingest path — HTTP decode,
+// validation, admission, apply — against a live service. Whatever the
+// body, the handler must answer a sane status (never a 5xx other than
+// the deliberate fail-closed 500, which this memory-only service cannot
+// reach), the service must survive, and a 200 must mean the batch was
+// queued. Seeds come from the benchdata.StreamEvents corpus plus the
+// malformed shapes the hardening table guards.
+//
+// Each exec gets a fresh service: sharing one across execs makes the
+// coverage signal depend on accumulated dataset state, which sends the
+// coverage-guided minimizer into long minimize cycles on inputs that
+// are only "interesting" because of what ran before them.
+func FuzzIngestPipeline(f *testing.F) {
+	events := benchdata.StreamEvents(60)
+	for _, n := range []int{1, 5, 20} {
+		seed, err := json.Marshal(events[:n])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte("[]"))
+	f.Add([]byte("[{}]"))
+	f.Add([]byte("{not json"))
+	f.Add([]byte(`[] trailing`))
+	f.Add([]byte(`[{"id":"","attacker":"1.2.3.4"}]`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		cfg := stream.DefaultConfig()
+		svc, err := stream.New(cfg, nopEnricher{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		handler := httpapi.New(func() *stream.Service { return svc }, 1<<20)
+
+		req := httptest.NewRequest("POST", "/v1/ingest", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(httpapi.ClientIDHeader, "fuzz")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK:
+			var out map[string]int
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.String(), err)
+			}
+			if _, ok := out["queued"]; !ok {
+				t.Fatalf("200 without a queued count: %q", rec.Body.String())
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+			var out map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["error"] == "" {
+				t.Fatalf("%d without a structured error: %q", rec.Code, rec.Body.String())
+			}
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+		// Barrier: force the async apply worker to finish inside this
+		// exec so the covered path is deterministic, then check the
+		// service survived the input.
+		if err := svc.Flush(context.Background()); err != nil {
+			t.Fatalf("flush after fuzz input: %v", err)
+		}
+		if st := svc.Stats(); st.Fatal != "" {
+			t.Fatalf("fuzz input broke the service: %s", st.Fatal)
+		}
+	})
+}

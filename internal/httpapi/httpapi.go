@@ -1,0 +1,219 @@
+// Package httpapi implements the landscape service's HTTP surface,
+// shared by the landscaped daemon and the overload harness. It owns the
+// request-hardening and overload-signaling policy: strict Content-Type
+// and trailing-garbage checks on POST bodies (structured 400s), body
+// size caps (413), and the mapping of typed admission rejections to
+// 429/503 responses carrying a Retry-After header, so a loaded service
+// answers fast instead of holding connections open.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+// DefaultMaxBody caps POST bodies (64 MiB); larger requests get 413.
+const DefaultMaxBody = 64 << 20
+
+// ClientIDHeader names the request header carrying the submitter
+// identity for per-client rate limiting. Absent, the remote IP is the
+// client key, so unidentified submitters share per-IP buckets.
+const ClientIDHeader = "X-Client-ID"
+
+// New builds the HTTP API around a streaming service. get returns nil
+// until the service has finished recovering; until then every service
+// endpoint answers 503 while /healthz (liveness) stays 200. maxBody <= 0
+// selects DefaultMaxBody.
+func New(get func() *stream.Service, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBody
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if get() == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"status": "recovering"})
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ready"})
+	})
+	// ready wraps a handler with the recovery gate.
+	ready := func(h func(svc *stream.Service, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			svc := get()
+			if svc == nil {
+				writeError(w, http.StatusServiceUnavailable, errors.New("service is recovering"))
+				return
+			}
+			h(svc, w, r)
+		}
+	}
+	mux.HandleFunc("GET /v1/stats", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, svc.Stats())
+	}))
+	mux.HandleFunc("POST /v1/ingest", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		events, ok := decodeEvents(w, r, maxBody)
+		if !ok {
+			return
+		}
+		if err := svc.IngestFrom(r.Context(), ClientKey(r), events); err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, map[string]int{"queued": len(events)})
+	}))
+	mux.HandleFunc("POST /v1/flush", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		if err := svc.Flush(r.Context()); err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "flushed"})
+	}))
+	mux.HandleFunc("POST /v1/checkpoint", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		if err := svc.Checkpoint(r.Context()); err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "checkpointed"})
+	}))
+	mux.HandleFunc("GET /v1/clusters/{dim}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		dim := r.PathValue("dim")
+		if dim == "b" {
+			writeJSON(w, svc.BClusters())
+			return
+		}
+		view, err := svc.EPMClusters(dim)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, view)
+	}))
+	mux.HandleFunc("GET /v1/sample/{id}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+		view, ok := svc.Sample(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown sample %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, view)
+	}))
+	return mux
+}
+
+// ClientKey derives the rate-limiting identity for a request: the
+// ClientIDHeader when set, the remote IP otherwise.
+func ClientKey(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// decodeEvents reads and validates an ingest body: enforced JSON
+// Content-Type, size cap, strict decode, and no trailing garbage after
+// the array. On failure it writes the structured error response and
+// returns ok=false.
+func decodeEvents(w http.ResponseWriter, r *http.Request, maxBody int64) ([]dataset.Event, bool) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing Content-Type; send application/json"))
+		return nil, false
+	}
+	media, _, err := mime.ParseMediaType(ct)
+	if err != nil || media != "application/json" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unsupported Content-Type %q; send application/json", ct))
+		return nil, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	var events []dataset.Event
+	if err := dec.Decode(&events); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes; split the batch", tooBig.Limit))
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding events: %w", err))
+		return nil, false
+	}
+	// json.Decoder stops at the end of the first value; anything after
+	// it but whitespace is a malformed request, not a second batch.
+	if _, err := dec.Token(); err == nil || !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, errors.New("trailing data after the event array"))
+		return nil, false
+	}
+	return events, true
+}
+
+// writeServiceError maps a service-side ingest/flush/checkpoint failure
+// onto the wire: admission rejections become 429 (the client should
+// slow down: rate-limit, deadline) or 503 (the service is saturated:
+// queue-full, shed) with a Retry-After header; the fail-closed fatal
+// state is 500 (operator intervention — restart — required); anything
+// else is 503.
+func writeServiceError(w http.ResponseWriter, err error) {
+	if rej, ok := admission.AsRejection(err); ok {
+		code := http.StatusServiceUnavailable
+		if rej.Reason == admission.ReasonRateLimit || rej.Reason == admission.ReasonDeadline {
+			code = http.StatusTooManyRequests
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(rej.RetryAfter)))
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":          rej.Error(),
+			"reason":         string(rej.Reason),
+			"retry_after_ms": rej.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	var fatal *stream.FatalError
+	if errors.As(err, &fatal) {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// retryAfterSeconds renders a Retry-After value: whole seconds, at
+// least 1 (a zero Retry-After header is "retry immediately", which
+// defeats the point of sending one).
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -139,6 +139,10 @@ func (s *Service) logRequest(req request) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
+		// Fail closed: a service that cannot write-ahead-log must not
+		// acknowledge any further work, or an eventual crash silently
+		// loses batches the clients believe were accepted.
+		s.setFatal("wal-append", err)
 		s.walAppendErrors++
 		s.recordError("wal append failed, request dropped: " + err.Error())
 		return false
@@ -155,6 +159,9 @@ func (s *Service) logRequest(req request) bool {
 func (s *Service) Checkpoint(ctx context.Context) error {
 	if s.wal == nil {
 		return fmt.Errorf("stream: durability is not configured")
+	}
+	if err := s.Fatal(); err != nil {
+		return err
 	}
 	req := request{ckpt: true, errc: make(chan error, 1)}
 	if err := s.send(ctx, req); err != nil {

@@ -2,6 +2,7 @@ package stream_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -47,6 +48,9 @@ func dirtyCorpus(n int) []dataset.Event {
 func normStats(st stream.Stats) stream.Stats {
 	st.QueueCap, st.QueueDepth, st.MaxQueueDepth = 0, 0, 0
 	st.WAL = stream.WALStats{}
+	// The admission ledger is process-local runtime telemetry
+	// (recovery replays bypass admission), like queue depth above.
+	st.Admission = stream.AdmissionStats{}
 	return st
 }
 
@@ -207,5 +211,68 @@ func TestCheckpointAndWALReplay(t *testing.T) {
 	mem := newTestService(t, testConfig(0))
 	if err := mem.Checkpoint(ctx); err == nil {
 		t.Fatal("Checkpoint on a memory-only service must error")
+	}
+}
+
+// TestWALAppendFailureFailsClosed is the satellite (e) gate: once the
+// WAL cannot append, the service must refuse all further work with a
+// typed *stream.FatalError instead of acknowledging batches it never
+// durably logged. The failure is injected without new API surface: a
+// 1-byte rotation threshold forces a segment create on every append,
+// and removing the durability dir makes that create fail.
+func TestWALAppendFailureFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(0)
+	cfg.Durability = stream.Durability{Dir: dir, SegmentBytes: 1, NoSync: true}
+	svc, err := stream.New(cfg, fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	events := cleanCorpus(30)
+
+	if err := svc.Ingest(ctx, events[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	applied := svc.Stats().Events
+
+	// Break the durability layer: the next append rotates into a
+	// directory that no longer exists.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The doomed batch may be accepted onto the queue (admission happens
+	// before the WAL write), but it must never be acknowledged as
+	// applied, and the failure must latch.
+	_ = svc.Ingest(ctx, events[10:20])
+
+	var fatal *stream.FatalError
+	if err := svc.Flush(ctx); !errors.As(err, &fatal) {
+		t.Fatalf("Flush after WAL failure returned %v, want *stream.FatalError", err)
+	}
+	if fatal.Op != "wal-append" {
+		t.Fatalf("fatal op %q, want wal-append", fatal.Op)
+	}
+	// Every entry point now fails closed, fast.
+	if err := svc.Ingest(ctx, events[20:30]); !errors.As(err, &fatal) {
+		t.Fatalf("Ingest after WAL failure returned %v, want *stream.FatalError", err)
+	}
+	if err := svc.Checkpoint(ctx); !errors.As(err, &fatal) {
+		t.Fatalf("Checkpoint after WAL failure returned %v, want *stream.FatalError", err)
+	}
+
+	st := svc.Stats()
+	if st.Events != applied {
+		t.Fatalf("events grew from %d to %d after the WAL broke", applied, st.Events)
+	}
+	if st.WAL.AppendErrors == 0 {
+		t.Fatalf("no append errors recorded: %+v", st.WAL)
+	}
+	if st.Fatal == "" {
+		t.Fatal("Stats must surface the fail-closed error")
 	}
 }

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/bcluster"
 	"repro/internal/behavior"
 	"repro/internal/dataset"
@@ -71,6 +73,11 @@ type Config struct {
 	Durability Durability
 	// Retry configures transient-enrichment retry and quarantine.
 	Retry Retry
+	// Admission configures overload protection: per-client rate
+	// limiting, the admission deadline, adaptive load shedding, and
+	// degraded mode. The zero value disables all of it — Ingest then
+	// blocks on a full queue exactly as before.
+	Admission admission.Config
 }
 
 // DefaultConfig mirrors the batch pipeline's analysis parameters with a
@@ -101,6 +108,9 @@ func (c Config) Validate() error {
 	if err := c.Retry.validate(); err != nil {
 		return err
 	}
+	if err := c.Admission.Validate(); err != nil {
+		return err
+	}
 	return c.BCluster.Validate()
 }
 
@@ -112,8 +122,10 @@ type request struct {
 	events []dataset.Event
 	flush  bool
 	ckpt   bool
-	done   chan struct{}
 	errc   chan error
+	// at is the enqueue instant; the worker derives the queue-wait
+	// pressure signal from it.
+	at time.Time
 }
 
 // Service is the streaming landscape service. Construct with New, feed
@@ -159,6 +171,29 @@ type Service struct {
 	retryScheduled int
 	retryAttempts  int
 	retrySuccesses int
+
+	// Overload protection. The limiter and shedder are nil when their
+	// knobs are off; qDelay and waiters are lock-free so admission
+	// decisions never serialize behind the apply worker; the ledger
+	// counters take admMu; the degraded fields are guarded by mu
+	// (worker-written, query-read).
+	limiter  *admission.Limiter
+	shedder  *admission.Shedder
+	qDelay   admission.EWMA
+	waiters  atomic.Int64
+	fatalErr atomic.Pointer[FatalError]
+
+	admMu           sync.Mutex
+	admittedBatches int
+	admittedEvents  int
+	rejectedBatches map[string]int
+	rejectedEvents  map[string]int
+	shedProb        float64
+
+	degradedMode    bool
+	degradedEntered int
+	degradedExited  int
+	epochsDeferred  int
 
 	walAppends       int
 	walAppendErrors  int
@@ -207,6 +242,10 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 		rejectedByReason: make(map[string]int),
 		retry:            newRetryPool(),
 		quarantined:      make(map[string]string),
+		limiter:          admission.NewLimiter(cfg.Admission.RatePerSec, cfg.Admission.Burst, cfg.Admission.MaxClients, nil),
+		shedder:          admission.NewShedder(cfg.Admission.ShedTarget, cfg.Admission.Seed),
+		rejectedBatches:  make(map[string]int),
+		rejectedEvents:   make(map[string]int),
 	}
 	for i, schema := range []epm.Schema{dataset.EpsilonSchema, dataset.PiSchema, dataset.MuSchema} {
 		s.dims[i] = newDimension(schema, cfg.Thresholds, cfg.Parallelism)
@@ -225,14 +264,30 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 }
 
 // Ingest enqueues one batch of events and returns once the batch is
-// queued (not yet applied). It blocks while the queue is full — that is
-// the backpressure bound on producer memory — and fails only when the
-// context ends or the service closes. Per-event problems (duplicate IDs,
-// unresolvable samples) do not fail the batch; they are counted in
-// Stats.
+// queued (not yet applied). With overload protection off it blocks
+// while the queue is full — that is the backpressure bound on producer
+// memory — and fails only when the context ends or the service closes.
+// Per-event problems (duplicate IDs, unresolvable samples) do not fail
+// the batch; they are counted in Stats. Ingest is the trusted loopback
+// entry: it bypasses the per-client rate limiter (the HTTP layer calls
+// IngestFrom with a client key instead) but not the shedder, the
+// admission deadline, or the waiter budget.
 func (s *Service) Ingest(ctx context.Context, events []dataset.Event) error {
+	return s.IngestFrom(ctx, "", events)
+}
+
+// IngestFrom is Ingest with a client identity for admission control:
+// the batch first passes the fail-closed gate, the client's token
+// bucket (client "" is exempt), and the adaptive shedder, then waits
+// for queue space at most Admission.Deadline. A refusal is a typed
+// *admission.Rejection carrying the reason and a retry-after hint; the
+// HTTP layer maps it to 429/503 with a Retry-After header.
+func (s *Service) IngestFrom(ctx context.Context, client string, events []dataset.Event) error {
 	if len(events) == 0 {
 		return nil
+	}
+	if err := s.admitBatch(client, len(events)); err != nil {
+		return err
 	}
 	return s.send(ctx, request{events: append([]dataset.Event(nil), events...)})
 }
@@ -240,21 +295,29 @@ func (s *Service) Ingest(ctx context.Context, events []dataset.Event) error {
 // Flush forces an epoch everywhere: it waits for every previously queued
 // batch, rebuilds any EPM dimension that grew since its last epoch, and
 // verifies every parked B sample. After Flush the cluster state equals
-// the batch pipeline's over the same events.
+// the batch pipeline's over the same events. Under a WAL failure Flush
+// returns the fail-closed *FatalError instead of acknowledging state it
+// cannot make durable.
 func (s *Service) Flush(ctx context.Context) error {
-	req := request{flush: true, done: make(chan struct{})}
+	if err := s.Fatal(); err != nil {
+		return err
+	}
+	req := request{flush: true, errc: make(chan error, 1)}
 	if err := s.send(ctx, req); err != nil {
 		return err
 	}
 	select {
-	case <-req.done:
-		return nil
+	case err := <-req.errc:
+		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// send registers the caller as a producer and enqueues the request.
+// send registers the caller as a producer and enqueues the request,
+// honoring the admission deadline and the global waiter budget. Event
+// batches are accounted admitted/rejected here; control requests
+// (flush, checkpoint) share the gates but not the ledger.
 func (s *Service) send(ctx context.Context, req request) error {
 	s.prodMu.Lock()
 	if s.isClosed {
@@ -264,9 +327,58 @@ func (s *Service) send(ctx context.Context, req request) error {
 	s.prodWG.Add(1)
 	s.prodMu.Unlock()
 	defer s.prodWG.Done()
+	req.at = time.Now()
+
+	// Fast path: queue space is free, no waiting and no gates.
 	select {
 	case s.in <- req:
+		if req.events != nil {
+			s.noteAdmitted(len(req.events))
+		}
 		return nil
+	default:
+	}
+
+	// The queue is full: this producer becomes a waiter. The waiter
+	// budget fails fast when too many producers are already parked.
+	if max := s.cfg.Admission.MaxWaiters; max > 0 {
+		if int(s.waiters.Add(1)) > max {
+			s.waiters.Add(-1)
+			rej := &admission.Rejection{
+				Reason:     admission.ReasonQueueFull,
+				RetryAfter: admission.RetryAfterHint(s.qDelay.Load()),
+			}
+			if req.events != nil {
+				s.noteRejected(string(rej.Reason), len(req.events))
+			}
+			return rej
+		}
+	} else {
+		s.waiters.Add(1)
+	}
+	defer s.waiters.Add(-1)
+
+	var deadline <-chan time.Time
+	if d := s.cfg.Admission.Deadline; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case s.in <- req:
+		if req.events != nil {
+			s.noteAdmitted(len(req.events))
+		}
+		return nil
+	case <-deadline:
+		rej := &admission.Rejection{
+			Reason:     admission.ReasonDeadline,
+			RetryAfter: admission.RetryAfterHint(s.qDelay.Load()),
+		}
+		if req.events != nil {
+			s.noteRejected(string(rej.Reason), len(req.events))
+		}
+		return rej
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-s.closed:
@@ -295,15 +407,21 @@ func (s *Service) Close() {
 // worker is the single mutator: it applies batches in arrival order, so
 // all cluster state evolves deterministically in the record sequence.
 // Every accepted request is WAL-logged before it is applied; a request
-// whose append fails is dropped, not half-applied.
+// whose append fails is dropped, not half-applied, and the service
+// fails closed. Each dequeue also feeds the smoothed queue-delay signal
+// that drives shedding and degraded mode.
 func (s *Service) worker() {
 	defer close(s.workerDone)
 	for req := range s.in {
+		if !req.at.IsZero() {
+			s.observePressure(time.Since(req.at))
+		}
 		depth := len(s.in) + 1
 		if req.ckpt {
 			req.errc <- s.checkpoint()
 			continue
 		}
+		var failed error
 		if s.logRequest(req) {
 			if req.flush {
 				s.applyFlush()
@@ -320,9 +438,11 @@ func (s *Service) worker() {
 					}
 				}
 			}
+		} else if failed = s.Fatal(); failed == nil {
+			failed = errors.New("stream: request dropped: wal append failed")
 		}
-		if req.done != nil {
-			close(req.done)
+		if req.errc != nil {
+			req.errc <- failed
 		}
 	}
 }
@@ -589,9 +709,23 @@ func (s *Service) recordError(msg string) {
 }
 
 // epochCheck fires any epoch whose pending pool reached the threshold.
-// Callers hold the write lock.
+// While the service is degraded, epochs are deferred instead: instances
+// keep classifying via the fast path and samples keep parking, so the
+// expensive rebuild/verification work is shed until pressure releases
+// (observePressure drains it) or the next Flush forces it. Callers hold
+// the write lock.
 func (s *Service) epochCheck() {
 	if s.cfg.EpochSize <= 0 {
+		return
+	}
+	if s.degradedMode {
+		due := s.b.Pending() >= s.cfg.EpochSize
+		for _, d := range s.dims {
+			due = due || d.pendingCount >= s.cfg.EpochSize
+		}
+		if due {
+			s.epochsDeferred++
+		}
 		return
 	}
 	for _, d := range s.dims {
@@ -833,11 +967,15 @@ type EPMClusterView struct {
 
 // EPMView is a snapshot of one EPM dimension.
 type EPMView struct {
-	Dimension string           `json:"dimension"`
-	Epoch     int              `json:"epoch"`
-	Instances int              `json:"instances"`
-	Pending   int              `json:"pending"`
-	Clusters  []EPMClusterView `json:"clusters"`
+	Dimension string `json:"dimension"`
+	Epoch     int    `json:"epoch"`
+	Instances int    `json:"instances"`
+	Pending   int    `json:"pending"`
+	// Degraded marks the snapshot as served under pressure: epoch
+	// rebuilds are deferred, so Clusters is the last epoch's view plus
+	// provisional fast-path classifications.
+	Degraded bool             `json:"degraded"`
+	Clusters []EPMClusterView `json:"clusters"`
 }
 
 // EPMClusters snapshots the named dimension ("epsilon"/"pi"/"mu" or
@@ -854,6 +992,7 @@ func (s *Service) EPMClusters(name string) (EPMView, error) {
 		Epoch:     d.epoch,
 		Instances: len(d.instances),
 		Pending:   d.pendingCount,
+		Degraded:  s.degradedMode,
 		Clusters:  d.clusterViews(),
 	}, nil
 }
@@ -869,9 +1008,13 @@ type BClusterView struct {
 
 // BView is a snapshot of the behavioral clustering.
 type BView struct {
-	Samples  int            `json:"samples"`
-	Pending  int            `json:"pending"`
-	Epochs   int            `json:"epochs"`
+	Samples int `json:"samples"`
+	Pending int `json:"pending"`
+	Epochs  int `json:"epochs"`
+	// Degraded marks the snapshot as served under pressure: B
+	// verification epochs are deferred, so parked samples stay
+	// singletons longer than usual.
+	Degraded bool           `json:"degraded"`
 	Clusters []BClusterView `json:"clusters"`
 }
 
@@ -889,6 +1032,7 @@ func (s *Service) BClusters() BView {
 		Samples:  s.b.Samples(),
 		Pending:  s.b.Pending(),
 		Epochs:   s.b.Epochs(),
+		Degraded: s.degradedMode,
 		Clusters: out,
 	}
 }
@@ -983,12 +1127,16 @@ type Stats struct {
 	QueueCap          int            `json:"queue_cap"`
 	QueueDepth        int            `json:"queue_depth"`
 	MaxQueueDepth     int            `json:"max_queue_depth"`
-	Retry             RetryStats     `json:"retry"`
-	WAL               WALStats       `json:"wal"`
-	Epsilon           DimStats       `json:"epsilon"`
-	Pi                DimStats       `json:"pi"`
-	Mu                DimStats       `json:"mu"`
-	B                 BStats         `json:"b"`
+	// Fatal carries the fail-closed error after an unrecoverable
+	// durability failure; empty while healthy.
+	Fatal     string         `json:"fatal,omitempty"`
+	Admission AdmissionStats `json:"admission"`
+	Retry     RetryStats     `json:"retry"`
+	WAL       WALStats       `json:"wal"`
+	Epsilon   DimStats       `json:"epsilon"`
+	Pi        DimStats       `json:"pi"`
+	Mu        DimStats       `json:"mu"`
+	B         BStats         `json:"b"`
 }
 
 // Stats snapshots the service counters.
@@ -1025,7 +1173,13 @@ func (s *Service) Stats() Stats {
 	if s.wal != nil {
 		walStats.LastSeq = s.wal.LastSeq()
 	}
+	var fatal string
+	if err := s.Fatal(); err != nil {
+		fatal = err.Error()
+	}
 	return Stats{
+		Fatal:             fatal,
+		Admission:         s.admissionStats(),
 		Events:            s.events,
 		Rejected:          s.rejected,
 		RejectedByReason:  byReason,

@@ -1,0 +1,159 @@
+package stream_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/dataset"
+)
+
+// TestAdmissionConcurrencyStress hammers every admission path at once —
+// concurrent per-client ingest against a tiny queue with the rate
+// limiter, deadline, and shedder all armed, interleaved with queries and
+// flushes — and then reconciles the clients' own books against the
+// service ledger: every submitted batch is accounted admitted or
+// rejected-with-reason, nothing double-counted, nothing lost. Run under
+// -race, this is the memory-safety gate for the overload machinery.
+func TestAdmissionConcurrencyStress(t *testing.T) {
+	cfg := testConfig(16)
+	cfg.QueueDepth = 2
+	cfg.Admission = admission.Config{
+		RatePerSec: 300,
+		Burst:      20,
+		Deadline:   3 * time.Millisecond,
+		ShedTarget: time.Millisecond,
+		Seed:       1,
+	}
+	svc := newTestService(t, cfg)
+	ctx := context.Background()
+
+	const (
+		ingesters = 4
+		perClient = 80
+		batchSize = 5
+	)
+
+	// Readers churn the query surface while the flood is on; one of them
+	// also forces flushes so epoch work races the admission path.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				svc.Stats()
+				svc.BClusters()
+				if _, err := svc.EPMClusters("epsilon"); err != nil {
+					t.Error(err)
+					return
+				}
+				if r == 0 {
+					if err := svc.Flush(ctx); err != nil {
+						if _, ok := admission.AsRejection(err); !ok {
+							t.Errorf("flush: %v", err)
+							return
+						}
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		}(r)
+	}
+
+	type book struct {
+		accepted       int
+		acceptedEvents int
+		rejected       map[admission.Reason]int
+	}
+	books := make([]book, ingesters)
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := fmt.Sprintf("stress-c%d", g)
+			books[g].rejected = map[admission.Reason]int{}
+			for b := 0; b < perClient; b++ {
+				events := make([]dataset.Event, 0, batchSize)
+				for k := 0; k < batchSize; k++ {
+					i := b*batchSize + k
+					e := testEvent(i, fmt.Sprintf("v%d", i%3))
+					e.ID = fmt.Sprintf("%s-ev%05d", client, i)
+					e.Sample.MD5 = fmt.Sprintf("%s-%s", client, e.Sample.MD5)
+					events = append(events, e)
+				}
+				err := svc.IngestFrom(ctx, client, events)
+				switch {
+				case err == nil:
+					books[g].accepted++
+					books[g].acceptedEvents += batchSize
+				default:
+					var rej *admission.Rejection
+					if !errors.As(err, &rej) {
+						t.Errorf("client %s: non-admission ingest error: %v", client, err)
+						return
+					}
+					books[g].rejected[rej.Reason]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	accepted, acceptedEvents := 0, 0
+	rejected := map[string]int{}
+	for _, bk := range books {
+		accepted += bk.accepted
+		acceptedEvents += bk.acceptedEvents
+		for reason, n := range bk.rejected {
+			rejected[string(reason)] += n
+		}
+	}
+	rejectedTotal := 0
+	for _, n := range rejected {
+		rejectedTotal += n
+	}
+	if got := accepted + rejectedTotal; got != ingesters*perClient {
+		t.Fatalf("accepted %d + rejected %d != submitted %d", accepted, rejectedTotal, ingesters*perClient)
+	}
+
+	st := svc.Stats()
+	if st.Admission.AdmittedBatches != accepted || st.Admission.AdmittedEvents != acceptedEvents {
+		t.Fatalf("ledger admitted %d/%d events, clients saw %d/%d",
+			st.Admission.AdmittedBatches, st.Admission.AdmittedEvents, accepted, acceptedEvents)
+	}
+	for reason, n := range rejected {
+		if st.Admission.RejectedBatches[reason] != n {
+			t.Fatalf("ledger rejected[%s]=%d, clients saw %d", reason, st.Admission.RejectedBatches[reason], n)
+		}
+	}
+	for reason, n := range st.Admission.RejectedBatches {
+		if rejected[reason] != n {
+			t.Fatalf("ledger has %d rejected[%s] the clients never saw", n, reason)
+		}
+	}
+	// Every admitted event was applied exactly once: IDs are unique per
+	// client, so no duplicates and no losses.
+	if st.Events != acceptedEvents || st.Duplicates != 0 {
+		t.Fatalf("events=%d duplicates=%d, want %d/0", st.Events, st.Duplicates, acceptedEvents)
+	}
+}
