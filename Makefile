@@ -1,6 +1,10 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json run-landscaped smoke-landscaped smoke-crash smoke-overload fuzz-smoke
+.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload fuzz-smoke
+
+# Label for bench-json measurement campaigns; override per campaign:
+#   make bench-json LABEL=post-pr7
+LABEL ?= post-pr6
 
 check: vet test race
 
@@ -23,7 +27,13 @@ bench:
 # and the streaming-service ingest throughput (BENCH_stream.json); entries
 # from other labels, e.g. the committed pre-PR baselines, are preserved.
 bench-json:
-	go run ./cmd/benchjson -label post-pr3 -o BENCH_bcluster.json -stream-o BENCH_stream.json
+	go run ./cmd/benchjson -label $(LABEL) -o BENCH_bcluster.json -stream-o BENCH_stream.json
+
+# Superlinearity canary: replay the n=1k and n=10k stream corpora and
+# fail if ns/event grows more than 1.5x across the decade. Writes no
+# files. Mirrors the CI "Bench guard" step.
+bench-guard:
+	go run ./cmd/benchjson -guard
 
 # Serve the streaming landscape daemon on the small scenario; feed it
 # with `go run ./cmd/landscaped -small -replay-to http://127.0.0.1:8844`

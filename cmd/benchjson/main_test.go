@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+// TestUpsertReplacesSameKey pins the merge-in-place contract: a
+// re-measurement under an existing (label, bench, n) key replaces the
+// old entry instead of appending a duplicate, and distinct keys append.
+func TestUpsertReplacesSameKey(t *testing.T) {
+	entries := []Entry{
+		{Label: "pre-pr2", Bench: "lsh", N: 1000, NsPerOp: 100},
+		{Label: "post-pr3", Bench: "lsh", N: 1000, NsPerOp: 90},
+	}
+	entries = upsert(entries, Entry{Label: "post-pr3", Bench: "lsh", N: 1000, NsPerOp: 42})
+	if len(entries) != 2 {
+		t.Fatalf("replacement appended: %d entries, want 2", len(entries))
+	}
+	if entries[1].NsPerOp != 42 {
+		t.Fatalf("entry not replaced in place: %+v", entries[1])
+	}
+	entries = upsert(entries, Entry{Label: "post-pr3", Bench: "exact", N: 1000, NsPerOp: 7})
+	entries = upsert(entries, Entry{Label: "post-pr3", Bench: "lsh", N: 2000, NsPerOp: 8})
+	if len(entries) != 4 {
+		t.Fatalf("distinct keys must append: %d entries, want 4", len(entries))
+	}
+	if entries[0].NsPerOp != 100 {
+		t.Fatalf("unrelated entry mutated: %+v", entries[0])
+	}
+}
+
+// TestUpsertStreamReplacesSameKey is the same contract for the stream
+// file, keyed by (label, n).
+func TestUpsertStreamReplacesSameKey(t *testing.T) {
+	entries := []StreamEntry{
+		{Label: "post-pr3", N: 1000, NsPerEvent: 23857},
+		{Label: "post-pr3", N: 10000, NsPerEvent: 48683},
+	}
+	entries = upsertStream(entries, StreamEntry{Label: "post-pr3", N: 10000, NsPerEvent: 20000})
+	if len(entries) != 2 {
+		t.Fatalf("replacement appended: %d entries, want 2", len(entries))
+	}
+	if entries[1].NsPerEvent != 20000 {
+		t.Fatalf("entry not replaced in place: %+v", entries[1])
+	}
+	entries = upsertStream(entries, StreamEntry{Label: "post-pr6", N: 10000, NsPerEvent: 19000})
+	entries = upsertStream(entries, StreamEntry{Label: "post-pr3", N: 100000, NsPerEvent: 1})
+	if len(entries) != 4 {
+		t.Fatalf("distinct keys must append: %d entries, want 4", len(entries))
+	}
+	if entries[0].NsPerEvent != 23857 {
+		t.Fatalf("unrelated entry mutated: %+v", entries[0])
+	}
+}

@@ -33,7 +33,7 @@ type Incremental struct {
 	sigs   [][]uint64
 
 	uf      *unionFind
-	buckets []map[uint64][]int // per band: band key -> integrated member indices
+	buckets []map[uint64]*bucket // per band: band key -> integrated members
 	failed  map[uint64]struct{}
 	stats   Stats
 
@@ -49,9 +49,9 @@ func NewIncremental(cfg Config) (*Incremental, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	buckets := make([]map[uint64][]int, cfg.Bands)
+	buckets := make([]map[uint64]*bucket, cfg.Bands)
 	for b := range buckets {
-		buckets[b] = make(map[uint64][]int)
+		buckets[b] = make(map[uint64]*bucket)
 	}
 	return &Incremental{
 		cfg:     cfg,
@@ -145,15 +145,63 @@ func (inc *Incremental) Verify() {
 	inc.epochs++
 }
 
+// bucket is one LSH band bucket of integrated sample indices. uniform is
+// a monotone watermark: members[:uniform] are known to be pairwise in the
+// same union-find component. Unions never split components, so the
+// watermark only ever advances.
+type bucket struct {
+	members []int
+	uniform int
+}
+
 // integrate probes sample j against every band bucket and links it into
 // the partition.
+//
+// The probe is what used to make Verify superlinear: a popular bucket is
+// history-sized, and every new collision rescanned all of it even though
+// almost every member was already in j's component (the scan skipped each
+// one individually after two find calls). The uniform watermark turns
+// that whole rescan into O(1): when the bucket is fully uniform and j
+// already shares its component, every pair (i, j) would take the
+// same-root skip — no candidate counted, no Jaccard run, no memo written,
+// no link made — so skipping the scan leaves partition, stats, and memo
+// exactly as the full scan would, byte for byte.
 func (inc *Incremental) integrate(j int) {
 	sig := inc.sigs[j]
 	for band := 0; band < inc.cfg.Bands; band++ {
 		key := bandKey(sig[band*inc.rows:(band+1)*inc.rows], uint64(band))
-		members := inc.buckets[band][key]
-		for _, i := range members {
+		b := inc.buckets[band][key]
+		if b == nil {
+			b = &bucket{}
+			inc.buckets[band][key] = b
+		}
+		if len(b.members) > 0 {
+			r0 := inc.uf.find(b.members[0])
+			for b.uniform < len(b.members) && inc.uf.find(b.members[b.uniform]) == r0 {
+				b.uniform++
+			}
+			if b.uniform == len(b.members) && inc.uf.find(j) == r0 {
+				b.members = append(b.members, j)
+				b.uniform++
+				continue
+			}
+		}
+		// The scan's remaining quadratic tail is j's FIRST collision with
+		// its component-to-be: j is not yet linked, so the fast path above
+		// misses and the scan walks the whole history-sized bucket even
+		// though every member past the first is a same-root skip once the
+		// first Jaccard links j in. Same cure as above: members[:uniform]
+		// are pairwise same-root, so the moment one of them shares j's
+		// root the rest of the prefix would all take the same-root skip —
+		// jump the cursor to the watermark instead of paying two finds per
+		// member. Only same-root pairs are skipped, so partition, stats,
+		// and memo stay byte-identical to the full scan.
+		for idx := 0; idx < len(b.members); idx++ {
+			i := b.members[idx]
 			if inc.uf.find(i) == inc.uf.find(j) {
+				if idx < b.uniform {
+					idx = b.uniform - 1
+				}
 				continue
 			}
 			pair := uint64(i)<<32 | uint64(j)
@@ -169,7 +217,7 @@ func (inc *Incremental) integrate(j int) {
 				inc.failed[pair] = struct{}{}
 			}
 		}
-		inc.buckets[band][key] = append(members, j)
+		b.members = append(b.members, j)
 	}
 }
 

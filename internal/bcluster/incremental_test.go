@@ -75,6 +75,94 @@ func TestIncrementalMatchesBatchAtEveryEpochSize(t *testing.T) {
 	}
 }
 
+// TestIncrementalCarriedStateMatchesFromScratch is the PR 6 differential
+// gate for the B side: an Incremental that carries its failed-pair memo,
+// union-find, and bucket watermarks across many Verify epochs must be
+// byte-identical — clusters, IDs, AND probe stats — to a fresh
+// Incremental that sees the same samples and verifies once. This is
+// strictly stronger than the partition check above: integration happens
+// in arrival order either way, so the epoch boundaries must not be
+// observable in any output, which is exactly the property checkpoint
+// recovery (bcluster.RestoreIncremental) relies on.
+func TestIncrementalCarriedStateMatchesFromScratch(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := incCorpus(400)
+	for _, epoch := range []int{1, 7, 64} {
+		carried, err := NewIncremental(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range inputs {
+			if err := carried.Add(in); err != nil {
+				t.Fatal(err)
+			}
+			if carried.Pending() >= epoch || i == len(inputs)-1 {
+				carried.Verify()
+			}
+		}
+		scratch, err := NewIncremental(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range inputs {
+			if err := scratch.Add(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scratch.Verify()
+
+		got, want := carried.Result(), scratch.Result()
+		if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+			t.Fatalf("epoch=%d: carried-memo clusters diverge from from-scratch", epoch)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("epoch=%d: carried-memo stats %+v diverge from from-scratch %+v",
+				epoch, got.Stats, want.Stats)
+		}
+		if carried.Stats() != scratch.Stats() {
+			t.Fatalf("epoch=%d: cumulative stats diverge", epoch)
+		}
+	}
+}
+
+// TestIncrementalUniformBucketFastPath pins the optimization itself:
+// after repeated epochs over a family-structured corpus, band buckets
+// must be recognized as single-component (uniform watermark at the end),
+// which is what turns history-sized rescans into O(1) skips.
+func TestIncrementalUniformBucketFastPath(t *testing.T) {
+	cfg := DefaultConfig()
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range incCorpus(300) {
+		if err := inc.Add(in); err != nil {
+			t.Fatal(err)
+		}
+		if inc.Pending() >= 16 || i == 299 {
+			inc.Verify()
+		}
+	}
+	big, uniform := 0, 0
+	for _, band := range inc.buckets {
+		for _, b := range band {
+			if len(b.members) < 4 {
+				continue
+			}
+			big++
+			if b.uniform == len(b.members) {
+				uniform++
+			}
+		}
+	}
+	if big == 0 {
+		t.Fatal("corpus produced no populated band buckets; test is vacuous")
+	}
+	if uniform*2 < big {
+		t.Fatalf("only %d/%d populated buckets fully uniform; fast path not engaging", uniform, big)
+	}
+}
+
 func TestIncrementalOrderInvariance(t *testing.T) {
 	cfg := DefaultConfig()
 	inputs := incCorpus(200)

@@ -90,11 +90,28 @@ type Sample struct {
 }
 
 // Dataset is the in-memory analysis dataset.
+// eventChunkSize is the capacity of one event-store chunk. Chunking
+// keeps appends O(1) without ever copying history: a flat []Event
+// re-copied and re-zeroed tens of MB on every growth step at stream
+// scale, and a []*Event traded that for a per-event heap object the
+// garbage collector then had to track. One chunk is a few MB — big
+// enough to amortize allocation, small enough not to stall.
+const eventChunkSize = 4096
+
 type Dataset struct {
-	events   []Event
+	// chunks is the event log in insertion order; every chunk but the
+	// last holds exactly eventChunkSize events.
+	chunks   [][]Event
+	count    int
 	samples  map[string]*Sample
 	bySample map[string][]int // MD5 -> event indices
 	ids      map[string]bool
+}
+
+// at returns the stored event at log index i. The pointer aliases the
+// store; callers must not mutate or retain it across AddEvent calls.
+func (d *Dataset) at(i int) *Event {
+	return &d.chunks[i/eventChunkSize][i%eventChunkSize]
 }
 
 // New returns an empty dataset.
@@ -115,10 +132,14 @@ func (d *Dataset) AddEvent(e Event) error {
 		return fmt.Errorf("dataset: duplicate event ID %q", e.ID)
 	}
 	d.ids[e.ID] = true
-	d.events = append(d.events, e)
+	if len(d.chunks) == 0 || len(d.chunks[len(d.chunks)-1]) == eventChunkSize {
+		d.chunks = append(d.chunks, make([]Event, 0, eventChunkSize))
+	}
+	d.chunks[len(d.chunks)-1] = append(d.chunks[len(d.chunks)-1], e)
+	d.count++
 
 	if e.HasSample() {
-		idx := len(d.events) - 1
+		idx := d.count - 1
 		d.bySample[e.Sample.MD5] = append(d.bySample[e.Sample.MD5], idx)
 		s, ok := d.samples[e.Sample.MD5]
 		if !ok {
@@ -141,14 +162,30 @@ func (d *Dataset) AddEvent(e Event) error {
 	return nil
 }
 
-// Events returns all events in insertion order. The returned slice is
-// shared; callers must not mutate it.
+// Events returns a copy of all events in insertion order. The copy is
+// O(n); iterate with EachEvent where the materialized slice is not
+// needed.
 func (d *Dataset) Events() []Event {
-	return d.events
+	out := make([]Event, 0, d.count)
+	for _, c := range d.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// EachEvent calls fn for every event in insertion order without
+// materializing a copy of the store. The callee must not mutate or
+// retain the pointed-to event.
+func (d *Dataset) EachEvent(fn func(e *Event)) {
+	for _, c := range d.chunks {
+		for i := range c {
+			fn(&c[i])
+		}
+	}
 }
 
 // EventCount returns the number of events.
-func (d *Dataset) EventCount() int { return len(d.events) }
+func (d *Dataset) EventCount() int { return d.count }
 
 // Sample returns the sample record for an MD5, or nil.
 func (d *Dataset) Sample(md5 string) *Sample {
@@ -186,7 +223,7 @@ func (d *Dataset) EventsOfSample(md5 string) []Event {
 	idxs := d.bySample[md5]
 	out := make([]Event, 0, len(idxs))
 	for _, i := range idxs {
-		out = append(out, d.events[i])
+		out = append(out, *d.at(i))
 	}
 	return out
 }
@@ -280,31 +317,31 @@ func (e Event) MuInstance() (_ epm.Instance, ok bool) {
 
 // EpsilonInstances projects the events onto the ε schema.
 func (d *Dataset) EpsilonInstances() []epm.Instance {
-	out := make([]epm.Instance, 0, len(d.events))
-	for _, e := range d.events {
+	out := make([]epm.Instance, 0, d.count)
+	d.EachEvent(func(e *Event) {
 		out = append(out, e.EpsilonInstance())
-	}
+	})
 	return out
 }
 
 // PiInstances projects the events onto the π schema.
 func (d *Dataset) PiInstances() []epm.Instance {
-	out := make([]epm.Instance, 0, len(d.events))
-	for _, e := range d.events {
+	out := make([]epm.Instance, 0, d.count)
+	d.EachEvent(func(e *Event) {
 		out = append(out, e.PiInstance())
-	}
+	})
 	return out
 }
 
 // MuInstances projects the events that collected a sample onto the μ
 // schema.
 func (d *Dataset) MuInstances() []epm.Instance {
-	out := make([]epm.Instance, 0, len(d.events))
-	for _, e := range d.events {
+	out := make([]epm.Instance, 0, d.count)
+	d.EachEvent(func(e *Event) {
 		if in, ok := e.MuInstance(); ok {
 			out = append(out, in)
 		}
-	}
+	})
 	return out
 }
 
@@ -329,9 +366,11 @@ type jsonlRecord struct {
 func (d *Dataset) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for i := range d.events {
-		if err := enc.Encode(jsonlRecord{Kind: "event", Event: &d.events[i]}); err != nil {
-			return fmt.Errorf("dataset: encoding event %s: %w", d.events[i].ID, err)
+	for _, c := range d.chunks {
+		for i := range c {
+			if err := enc.Encode(jsonlRecord{Kind: "event", Event: &c[i]}); err != nil {
+				return fmt.Errorf("dataset: encoding event %s: %w", c[i].ID, err)
+			}
 		}
 	}
 	for _, s := range d.Samples() {

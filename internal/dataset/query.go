@@ -61,22 +61,22 @@ func (q Query) Matches(e Event) bool {
 // Select returns the events matching the query, in stream order.
 func (d *Dataset) Select(q Query) []Event {
 	var out []Event
-	for _, e := range d.events {
-		if q.Matches(e) {
-			out = append(out, e)
+	d.EachEvent(func(e *Event) {
+		if q.Matches(*e) {
+			out = append(out, *e)
 		}
-	}
+	})
 	return out
 }
 
 // CountBy buckets the matching events by an arbitrary key function.
 func (d *Dataset) CountBy(q Query, key func(Event) string) map[string]int {
 	out := make(map[string]int)
-	for _, e := range d.events {
-		if q.Matches(e) {
-			out[key(e)]++
+	d.EachEvent(func(e *Event) {
+		if q.Matches(*e) {
+			out[key(*e)]++
 		}
-	}
+	})
 	return out
 }
 
@@ -84,11 +84,11 @@ func (d *Dataset) CountBy(q Query, key func(Event) string) map[string]int {
 func (d *Dataset) Attackers(q Query) []string {
 	seen := make(map[string]bool)
 	var out []string
-	for _, e := range d.events {
-		if q.Matches(e) && !seen[e.Attacker] {
+	d.EachEvent(func(e *Event) {
+		if q.Matches(*e) && !seen[e.Attacker] {
 			seen[e.Attacker] = true
 			out = append(out, e.Attacker)
 		}
-	}
+	})
 	return out
 }

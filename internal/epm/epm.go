@@ -188,12 +188,22 @@ type Clustering struct {
 	invariants []map[string]bool
 	byInstance map[string]int
 	byPattern  map[string]int
+	// lookup, when set, answers ClusterOf instead of byInstance. The
+	// incremental engine installs its membership index here so that
+	// materializing an epoch never pays an O(instances) map rebuild.
+	lookup func(instanceID string) int
 }
 
 // ClusterOf returns the cluster index of an instance ID, or -1.
 func (c *Clustering) ClusterOf(instanceID string) int {
-	if i, ok := c.byInstance[instanceID]; ok {
-		return i
+	if c.byInstance != nil {
+		if i, ok := c.byInstance[instanceID]; ok {
+			return i
+		}
+		return -1
+	}
+	if c.lookup != nil {
+		return c.lookup(instanceID)
 	}
 	return -1
 }
@@ -268,9 +278,21 @@ func (c *Clustering) classifyScan(values []string) (Pattern, int, bool) {
 
 // generalize keeps the invariant values and wildcards the rest.
 func (c *Clustering) generalize(values []string) Pattern {
+	return generalizeWith(values, c.invariants)
+}
+
+// generalizedKey is generalize(values).Key() in a single allocation, for
+// the classification hot path.
+func (c *Clustering) generalizedKey(values []string) string {
+	return generalizedKeyWith(values, c.invariants)
+}
+
+// generalizeWith keeps the values that are invariants of their feature
+// and wildcards the rest.
+func generalizeWith(values []string, invariants []map[string]bool) Pattern {
 	vals := make([]string, len(values))
 	for fi, v := range values {
-		if c.invariants[fi][v] {
+		if invariants[fi][v] {
 			vals[fi] = v
 		} else {
 			vals[fi] = Wildcard
@@ -279,9 +301,9 @@ func (c *Clustering) generalize(values []string) Pattern {
 	return Pattern{Values: vals}
 }
 
-// generalizedKey is generalize(values).Key() in a single allocation, for
-// the classification hot path.
-func (c *Clustering) generalizedKey(values []string) string {
+// generalizedKeyWith is generalizeWith(values, invariants).Key() in a
+// single allocation.
+func generalizedKeyWith(values []string, invariants []map[string]bool) string {
 	n := len(values)
 	for _, v := range values {
 		n += len(v)
@@ -292,7 +314,7 @@ func (c *Clustering) generalizedKey(values []string) string {
 		if fi > 0 {
 			b.WriteByte('\x1f')
 		}
-		if c.invariants[fi][v] {
+		if invariants[fi][v] {
 			b.WriteString(v)
 		} else {
 			b.WriteString(Wildcard)

@@ -465,3 +465,86 @@ func compareConverged(t *testing.T, label string, got, want *stream.Service) {
 		t.Fatalf("%s: accounting diverges:\ngot  %+v\nwant %+v", label, gs, ws)
 	}
 }
+
+// TestDegradedProvisionalNoDoubleCount is the regression gate for the
+// provisional path under degraded mode: while epochs are deferred,
+// instances keep classifying provisionally against the last epoch's
+// pattern set, and the next (forced) epoch folds them into epoch
+// membership. At no point may a cluster view count an instance both as
+// an epoch member and as a provisional member — for every dimension the
+// view sizes plus the pending pool must partition the instances exactly.
+func TestDegradedProvisionalNoDoubleCount(t *testing.T) {
+	checkPartition := func(svc *stream.Service, label string) {
+		t.Helper()
+		for _, dim := range []string{"epsilon", "pi", "mu"} {
+			view, err := svc.EPMClusters(dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for _, c := range view.Clusters {
+				total += c.Size
+			}
+			if total+view.Pending != view.Instances {
+				t.Fatalf("%s: %s cluster sizes %d + pending %d != instances %d (an instance is double- or un-counted)",
+					label, dim, total, view.Pending, view.Instances)
+			}
+		}
+	}
+
+	cfg := testConfig(8)
+	cfg.Admission.DegradeTarget = time.Nanosecond
+	svc := newTestService(t, cfg)
+	ctx := context.Background()
+	feed := func(lo, hi int) {
+		t.Helper()
+		var events []dataset.Event
+		for i := lo; i < hi; i++ {
+			events = append(events, testEvent(i, fmt.Sprintf("v%d", i%3)))
+		}
+		for i := 0; i < len(events); i += 10 {
+			if err := svc.Ingest(ctx, events[i:i+10]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: everything pools as pending (no clustering yet, epochs
+	// deferred under pressure); Flush forces the first epoch.
+	feed(0, 40)
+	waitStats(t, svc, "phase 1 applied", func(st stream.Stats) bool { return st.Events == 40 })
+	checkPartition(svc, "degraded, pre-epoch")
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	epoch1 := svc.Stats().Epsilon.Epoch
+	if epoch1 == 0 {
+		t.Fatal("flush did not force the first epoch")
+	}
+	checkPartition(svc, "post-flush 1")
+
+	// Phase 2: the pattern set now matches the stream, so new instances
+	// classify provisionally while the deferred-epoch counter climbs.
+	feed(40, 80)
+	st := waitStats(t, svc, "phase 2 applied", func(st stream.Stats) bool { return st.Events == 80 })
+	if st.Epsilon.Epoch != epoch1 {
+		t.Fatalf("epochs ran under pressure: %d -> %d", epoch1, st.Epsilon.Epoch)
+	}
+	if st.Epsilon.Pending != 0 {
+		t.Fatalf("phase 2 epsilon instances pooled (%d pending) instead of classifying provisionally", st.Epsilon.Pending)
+	}
+	checkPartition(svc, "degraded, provisional members")
+
+	// The forced epoch must absorb every provisional member exactly once.
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Stats()
+	if st.Epsilon.Epoch == epoch1 || st.Epsilon.Pending != 0 {
+		t.Fatalf("final flush did not run the epoch: %+v", st.Epsilon)
+	}
+	if st.Epsilon.Instances != 80 {
+		t.Fatalf("epsilon instances = %d, want 80", st.Epsilon.Instances)
+	}
+	checkPartition(svc, "post-flush 2")
+}

@@ -334,14 +334,15 @@ func (s *Service) restoreCheckpoint(cp *checkpointFile) error {
 	if cp.Version != checkpointVersion {
 		return fmt.Errorf("stream: checkpoint version %d, want %d", cp.Version, checkpointVersion)
 	}
+	var dimIns [3][]epm.Instance
 	for _, e := range cp.Events {
 		if err := s.ds.AddEvent(e); err != nil {
 			return fmt.Errorf("stream: corrupt checkpoint: %w", err)
 		}
-		s.dims[0].instances = append(s.dims[0].instances, e.EpsilonInstance())
-		s.dims[1].instances = append(s.dims[1].instances, e.PiInstance())
+		dimIns[0] = append(dimIns[0], e.EpsilonInstance())
+		dimIns[1] = append(dimIns[1], e.PiInstance())
 		if in, ok := e.MuInstance(); ok {
-			s.dims[2].instances = append(s.dims[2].instances, in)
+			dimIns[2] = append(dimIns[2], in)
 		}
 	}
 	for _, se := range cp.Samples {
@@ -352,7 +353,7 @@ func (s *Service) restoreCheckpoint(cp *checkpointFile) error {
 		smp.AVLabel, smp.AVLabels, smp.Profile = se.AVLabel, se.AVLabels, se.Profile
 	}
 	for i := range s.dims {
-		if err := s.dims[i].restore(cp.Dims[i]); err != nil {
+		if err := s.dims[i].restore(cp.Dims[i], dimIns[i]); err != nil {
 			return err
 		}
 	}
@@ -380,46 +381,38 @@ func (s *Service) restoreCheckpoint(cp *checkpointFile) error {
 	return nil
 }
 
-// restore rebuilds a dimension's derived state after its instances have
-// been re-projected from the checkpointed events: the last epoch's
-// clustering is re-discovered (discovery is deterministic), epoch
-// assignments re-derived through the restored stable-ID table, and
-// post-epoch instances re-classified exactly as the live add path did.
-func (d *dimension) restore(st dimState) error {
-	if st.BuiltLen < 0 || st.BuiltLen > len(d.instances) {
+// restore rebuilds a dimension's derived state from the checkpointed
+// events' instance projections. The checkpoint format is unchanged by
+// the incremental epoch engine: engine state (sketches, groups) is a
+// deterministic function of the built prefix, so recovery feeds that
+// prefix to a fresh engine and runs one epoch over it — a full regroup
+// whose output is byte-identical to the original epoch-by-epoch
+// evolution (the differential property the epm tests prove). Epoch
+// assignments re-derive through the restored stable-ID table, and
+// post-watermark instances re-classify exactly as the live add path did.
+func (d *dimension) restore(st dimState, instances []epm.Instance) error {
+	if st.BuiltLen < 0 || st.BuiltLen > len(instances) {
 		return fmt.Errorf("stream: dimension %s: checkpoint watermark %d out of range [0,%d]",
-			d.schema.Dimension, st.BuiltLen, len(d.instances))
+			d.schema.Dimension, st.BuiltLen, len(instances))
 	}
-	d.epoch = st.Epoch
 	d.nextStable = st.NextStable
 	d.stable = make(map[string]int, len(st.Stable))
 	for k, v := range st.Stable {
 		d.stable[k] = v
 	}
-	if st.BuiltLen > 0 {
-		c, err := epm.RunParallel(d.schema, d.instances[:st.BuiltLen], d.thresholds, d.parallelism)
-		if err != nil {
-			return err
-		}
-		d.clustering = c
-		d.builtLen = st.BuiltLen
-		for i := range c.Clusters {
-			sid := d.stableOf(c.Clusters[i].Pattern.Key())
-			for _, id := range c.Clusters[i].InstanceIDs {
-				d.assign[id] = sid
-			}
+	for _, in := range instances[:st.BuiltLen] {
+		if err := d.eng.Add(in); err != nil {
+			return fmt.Errorf("stream: corrupt checkpoint: %w", err)
 		}
 	}
-	for _, in := range d.instances[d.builtLen:] {
-		if d.clustering != nil {
-			if p, _, ok := d.clustering.Classify(in.Values); ok {
-				sid := d.stableOf(p.Key())
-				d.assign[in.ID] = sid
-				d.provisional[sid]++
-				continue
-			}
+	if st.BuiltLen > 0 {
+		d.rebuild()
+	}
+	d.epoch = st.Epoch
+	for _, in := range instances[st.BuiltLen:] {
+		if err := d.add(in); err != nil {
+			return fmt.Errorf("stream: corrupt checkpoint: %w", err)
 		}
-		d.pendingCount++
 	}
 	return nil
 }

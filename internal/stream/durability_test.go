@@ -51,6 +51,14 @@ func normStats(st stream.Stats) stream.Stats {
 	// The admission ledger is process-local runtime telemetry
 	// (recovery replays bypass admission), like queue depth above.
 	st.Admission = stream.AdmissionStats{}
+	// The delta/full epoch split is path-dependent: recovery replays the
+	// checkpointed prefix as one full regroup, an uninterrupted run may
+	// have covered the same instances with several delta epochs. The
+	// clustering output is byte-identical either way; only the work
+	// accounting differs.
+	for _, ds := range []*stream.DimStats{&st.Epsilon, &st.Pi, &st.Mu} {
+		ds.DeltaEpochs, ds.FullRegroups = 0, 0
+	}
 	return st
 }
 

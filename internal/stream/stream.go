@@ -8,8 +8,13 @@
 // Each EPM dimension classifies new instances against its current
 // pattern set via the Classify fast path; instances no pattern matches
 // accumulate in a pending pool that, once it reaches Config.EpochSize,
-// triggers an epoch — a full re-run of invariant and pattern discovery
-// over every instance seen so far. Cluster identity survives epochs:
+// triggers an epoch. Epochs are incremental (epm.Incremental): the
+// engine merges only the newly arrived instances into its persistent
+// value-count sketches and pattern groups, falling back to a full
+// regroup only when an invariant threshold crossing invalidates the
+// pattern tree, so epoch cost tracks new arrivals rather than corpus
+// size while the output stays byte-identical to a full re-run of
+// discovery over every instance. Cluster identity survives epochs:
 // every pattern key is assigned a stable cluster ID on first appearance
 // and keeps it forever, so queries never see an ID change meaning.
 //
@@ -61,8 +66,8 @@ type Config struct {
 	// QueueDepth bounds the ingest queue, in batches; Ingest blocks while
 	// the queue is full. 0 selects 16.
 	QueueDepth int
-	// Parallelism bounds the EPM rebuild workers and the sandbox
-	// executions per batch; 0 selects GOMAXPROCS.
+	// Parallelism bounds the sandbox executions per batch; 0 selects
+	// GOMAXPROCS.
 	Parallelism int
 	// Thresholds configure EPM invariant discovery.
 	Thresholds epm.Thresholds
@@ -248,7 +253,9 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 		rejectedEvents:   make(map[string]int),
 	}
 	for i, schema := range []epm.Schema{dataset.EpsilonSchema, dataset.PiSchema, dataset.MuSchema} {
-		s.dims[i] = newDimension(schema, cfg.Thresholds, cfg.Parallelism)
+		if s.dims[i], err = newDimension(schema, cfg.Thresholds); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Durability.Dir != "" {
 		// Recovery runs synchronously, before the worker: load the last
@@ -481,10 +488,16 @@ func (s *Service) applyBatch(events []dataset.Event, depth int) {
 			continue
 		}
 		s.events++
-		s.dims[0].add(e.EpsilonInstance())
-		s.dims[1].add(e.PiInstance())
+		if err := s.dims[0].add(e.EpsilonInstance()); err != nil {
+			s.recordError(err.Error())
+		}
+		if err := s.dims[1].add(e.PiInstance()); err != nil {
+			s.recordError(err.Error())
+		}
 		if in, ok := e.MuInstance(); ok {
-			s.dims[2].add(in)
+			if err := s.dims[2].add(in); err != nil {
+				s.recordError(err.Error())
+			}
 		}
 		s.epochCheck()
 		if !e.HasSample() {
@@ -730,7 +743,7 @@ func (s *Service) epochCheck() {
 	}
 	for _, d := range s.dims {
 		if d.pendingCount >= s.cfg.EpochSize {
-			s.rebuild(d)
+			d.rebuild()
 		}
 	}
 	if s.b.Pending() >= s.cfg.EpochSize {
@@ -746,21 +759,12 @@ func (s *Service) applyFlush() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, d := range s.dims {
-		if len(d.instances) > d.builtLen {
-			s.rebuild(d)
+		if d.eng.Len() > d.builtLen {
+			d.rebuild()
 		}
 	}
 	s.b.Verify()
 	s.flushes++
-}
-
-// rebuild runs one EPM epoch for the dimension. Callers hold the write
-// lock. A discovery error (impossible for instances that passed
-// validateEvent) keeps the previous epoch's clustering.
-func (s *Service) rebuild(d *dimension) {
-	if err := d.rebuild(); err != nil {
-		s.recordError(err.Error())
-	}
 }
 
 // validateEvent screens an event for the invariants the EPM engine
@@ -829,73 +833,105 @@ func parallelEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// dimension is the incremental state of one EPM dimension.
+// dimension is the incremental state of one EPM dimension. The epoch
+// engine (epm.Incremental) owns the instance log, the per-feature value
+// sketches, and the pattern groups; the dimension layers the service's
+// stable cluster IDs and provisional fast-path classifications on top.
 type dimension struct {
-	schema      epm.Schema
-	thresholds  epm.Thresholds
-	parallelism int
+	schema     epm.Schema
+	thresholds epm.Thresholds
 
-	instances    []epm.Instance
+	eng          *epm.Incremental
 	clustering   *epm.Clustering // nil before the first epoch
 	epoch        int
-	builtLen     int // len(instances) at the last epoch
+	builtLen     int // eng.Len() at the last epoch
 	pendingCount int
 
-	stable      map[string]int // pattern key -> stable cluster ID
-	nextStable  int
-	assign      map[string]int // instance ID -> stable cluster ID
+	stable     map[string]int // pattern key -> stable cluster ID
+	nextStable int
+	// provAssign maps only the instances the fast path classified since
+	// the last epoch; epoch-built instances resolve through the engine
+	// (assignOf), so the dimension never mirrors the corpus-sized
+	// instance -> cluster table the engine already maintains.
+	provAssign  map[string]int // instance ID -> provisional stable cluster ID
 	provisional map[int]int    // stable ID -> members classified since the last epoch
 }
 
-func newDimension(schema epm.Schema, th epm.Thresholds, parallelism int) *dimension {
+func newDimension(schema epm.Schema, th epm.Thresholds) (*dimension, error) {
+	eng, err := epm.NewIncremental(schema, th)
+	if err != nil {
+		return nil, err
+	}
 	return &dimension{
 		schema:      schema,
 		thresholds:  th,
-		parallelism: parallelism,
+		eng:         eng,
 		stable:      make(map[string]int),
-		assign:      make(map[string]int),
+		provAssign:  make(map[string]int),
 		provisional: make(map[int]int),
-	}
+	}, nil
 }
 
 // add records one instance: classified provisionally when the current
-// pattern set matches it, pooled as pending otherwise.
-func (d *dimension) add(in epm.Instance) {
-	d.instances = append(d.instances, in)
+// pattern set matches it, pooled as pending otherwise. An engine
+// rejection (impossible for instances that passed validateEvent and the
+// dataset's duplicate screen) leaves the dimension unchanged. The
+// dataset screen is also why the trusted engine path is sound here:
+// every instance ID is an event ID the store has already deduplicated.
+func (d *dimension) add(in epm.Instance) error {
+	if err := d.eng.AddTrusted(in); err != nil {
+		return err
+	}
 	if d.clustering != nil {
 		if p, _, ok := d.clustering.Classify(in.Values); ok {
 			sid := d.stableOf(p.Key())
-			d.assign[in.ID] = sid
+			d.provAssign[in.ID] = sid
 			d.provisional[sid]++
-			return
+			return nil
 		}
 	}
 	d.pendingCount++
+	return nil
 }
 
-// rebuild runs one epoch: full invariant and pattern discovery over
-// every instance, then a stable remap of the new clusters.
-func (d *dimension) rebuild() error {
-	c, err := epm.RunParallel(d.schema, d.instances, d.thresholds, d.parallelism)
-	if err != nil {
-		return err
-	}
+// rebuild runs one epoch. The engine integrates only the instances added
+// since the last epoch (falling back to a full regroup when an invariant
+// threshold crossing invalidates the pattern tree), so the epoch cost
+// tracks new arrivals, not corpus size.
+func (d *dimension) rebuild() {
+	c, _ := d.eng.Epoch()
 	d.clustering = c
 	d.epoch++
-	d.builtLen = len(d.instances)
+	d.builtLen = d.eng.Len()
 	d.pendingCount = 0
-	d.assign = make(map[string]int, len(d.instances))
 	clear(d.provisional)
+	clear(d.provAssign)
 	// Clusters are visited largest-first, so fresh patterns take stable
 	// IDs in that (deterministic) order; patterns seen in any earlier
-	// epoch keep the ID they were born with.
+	// epoch keep the ID they were born with. Minting is all an epoch has
+	// to do: per-instance assignments — including the instances the fast
+	// path classified provisionally, whose pattern match the fresh
+	// clustering supersedes — resolve through the engine on demand
+	// (assignOf), so the epoch never sweeps a corpus-sized table.
 	for i := range c.Clusters {
-		sid := d.stableOf(c.Clusters[i].Pattern.Key())
-		for _, id := range c.Clusters[i].InstanceIDs {
-			d.assign[id] = sid
-		}
+		d.stableOf(c.Clusters[i].Pattern.Key())
 	}
-	return nil
+}
+
+// assignOf resolves the stable cluster ID of an instance: provisional
+// fast-path classifications first, then the engine's epoch assignment.
+func (d *dimension) assignOf(id string) (int, bool) {
+	if sid, ok := d.provAssign[id]; ok {
+		return sid, true
+	}
+	if d.clustering == nil {
+		return 0, false
+	}
+	ci := d.clustering.ClusterOf(id)
+	if ci < 0 {
+		return 0, false
+	}
+	return d.stable[d.clustering.Clusters[ci].Pattern.Key()], true
 }
 
 // stableOf resolves (or mints) the stable cluster ID of a pattern key.
@@ -990,7 +1026,7 @@ func (s *Service) EPMClusters(name string) (EPMView, error) {
 	return EPMView{
 		Dimension: d.schema.Dimension,
 		Epoch:     d.epoch,
-		Instances: len(d.instances),
+		Instances: d.eng.Len(),
 		Pending:   d.pendingCount,
 		Degraded:  s.degradedMode,
 		Clusters:  d.clusterViews(),
@@ -1080,7 +1116,7 @@ func (s *Service) Sample(md5 string) (SampleView, bool) {
 	}
 	mSet := map[int]bool{}
 	for _, e := range s.ds.EventsOfSample(md5) {
-		if sid, ok := s.dims[2].assign[e.ID]; ok {
+		if sid, ok := s.dims[2].assignOf(e.ID); ok {
 			mSet[sid] = true
 		}
 	}
@@ -1092,12 +1128,17 @@ func (s *Service) Sample(md5 string) (SampleView, bool) {
 	return v, true
 }
 
-// DimStats summarizes one EPM dimension for Stats.
+// DimStats summarizes one EPM dimension for Stats. DeltaEpochs and
+// FullRegroups split the engine-level epoch work (a recovery replays the
+// built prefix as one full regroup, so the split is path-dependent in a
+// way Epoch is not).
 type DimStats struct {
-	Epoch     int `json:"epoch"`
-	Clusters  int `json:"clusters"`
-	Instances int `json:"instances"`
-	Pending   int `json:"pending"`
+	Epoch        int `json:"epoch"`
+	Clusters     int `json:"clusters"`
+	Instances    int `json:"instances"`
+	Pending      int `json:"pending"`
+	DeltaEpochs  int `json:"delta_epochs"`
+	FullRegroups int `json:"full_regroups"`
 }
 
 // BStats summarizes the behavioral clustering for Stats.
@@ -1148,7 +1189,14 @@ func (s *Service) Stats() Stats {
 		if d.clustering != nil {
 			n = len(d.clustering.Clusters)
 		}
-		return DimStats{Epoch: d.epoch, Clusters: n, Instances: len(d.instances), Pending: d.pendingCount}
+		return DimStats{
+			Epoch:        d.epoch,
+			Clusters:     n,
+			Instances:    d.eng.Len(),
+			Pending:      d.pendingCount,
+			DeltaEpochs:  d.eng.DeltaEpochs(),
+			FullRegroups: d.eng.FullRegroups(),
+		}
 	}
 	bs := s.b.Stats()
 	var byReason map[string]int
