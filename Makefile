@@ -1,10 +1,10 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload fuzz-smoke
+.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload smoke-shard fuzz-smoke
 
 # Label for bench-json measurement campaigns; override per campaign:
-#   make bench-json LABEL=post-pr7
-LABEL ?= post-pr6
+#   make bench-json LABEL=post-pr8
+LABEL ?= post-pr7
 
 check: vet test race
 
@@ -85,6 +85,16 @@ smoke-crash:
 # step.
 smoke-overload:
 	go test -count=1 -run TestOverloadSmoke -v ./internal/loadgen/
+
+# Sharding smoke: the race detector over the N-shard == 1-shard merged
+# view equivalence, a 4-shard in-process replay convergence gate, and
+# the loadgen flood through 1- and 4-shard daemons (merged-view
+# equivalence plus the >=2x aggregate-throughput bound, enforced where
+# the box has >=4 cores). Mirrors the CI "Shard smoke" step.
+smoke-shard:
+	go test -count=1 -race -run TestShardEquivalence ./internal/shard/
+	go run ./cmd/landscaped -replay -small -shards 4
+	go test -count=1 -run TestShardFloodSmoke -v ./internal/loadgen/
 
 # Short coverage-guided fuzz of the ingest decode -> validate -> apply
 # path (FuzzIngestPipeline). The minimize budget is capped in execs so a

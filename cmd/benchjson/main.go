@@ -8,9 +8,15 @@
 // replaced, others are kept, so a committed baseline (label "pre-pr2")
 // survives re-measurement of the current tree.
 //
+// The stream bench carries a shards dimension (-stream-shards): each
+// point replays the corpus through a shard.Coordinator at that shard
+// count and records the aggregate events/sec, keyed (label, n, shards).
+// Entries written before the dimension existed load as shards=1.
+//
 // Usage:
 //
 //	benchjson [-o BENCH_bcluster.json] [-stream-o BENCH_stream.json] [-label current]
+//	          [-stream-shards 1,4]
 //	benchjson -guard
 //
 // -guard is the CI superlinearity canary: it replays the n=1k and n=10k
@@ -37,6 +43,7 @@ import (
 	"repro/internal/behavior"
 	"repro/internal/benchdata"
 	"repro/internal/dataset"
+	"repro/internal/shard"
 	"repro/internal/stream"
 )
 
@@ -71,6 +78,10 @@ type StreamEntry struct {
 	Events int `json:"events"`
 	// EpochSize is the re-clustering trigger the service ran with.
 	EpochSize int `json:"epoch_size"`
+	// Shards is the horizontal partition count the replay ran at (1 =
+	// the plain unsharded service); EventsPerSec is the aggregate rate
+	// across all shards. Pre-sharding entries load as Shards=1.
+	Shards int `json:"shards"`
 	// NsPerEvent and EventsPerSec measure one full replay (ingest through
 	// final flush, enrichment stubbed to a profile lookup).
 	NsPerEvent   int64   `json:"ns_per_event"`
@@ -99,6 +110,7 @@ func main() {
 	out := flag.String("o", "BENCH_bcluster.json", "output JSON path (merged in place)")
 	streamOut := flag.String("stream-o", "BENCH_stream.json", "streaming-service throughput JSON path (merged in place; empty disables)")
 	label := flag.String("label", "current", "label for this measurement campaign")
+	streamShards := flag.String("stream-shards", "1,4", "comma-separated shard counts to measure the stream bench at")
 	guard := flag.Bool("guard", false, "superlinearity canary: bench the stream at n=1k and n=10k, write nothing, fail if the ns/event ratio exceeds the threshold")
 	flag.Parse()
 
@@ -118,11 +130,36 @@ func main() {
 		os.Exit(1)
 	}
 	if *streamOut != "" {
-		if err := runStream(*streamOut, *label); err != nil {
+		shardCounts, err := parseShards(*streamShards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := runStream(*streamOut, *label, shardCounts); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// parseShards parses the -stream-shards list.
+func parseShards(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 || n > shard.MaxShards {
+			return nil, fmt.Errorf("-stream-shards: bad shard count %q (want 1..%d)", f, shard.MaxShards)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-stream-shards: empty list")
+	}
+	return counts, nil
 }
 
 // streamEnricher stubs the enrichment pipeline with the benchdata
@@ -150,32 +187,59 @@ func (e *streamEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bo
 }
 
 // measureStream replays the n-sample benchdata corpus through a fresh
-// service and returns the measured point. The replay runs twice (a
-// fresh service each time) and the faster run is recorded: the first
-// replay at the larger corpus sizes pays the OS page-fault cost of
-// growing the heap for the first time, which measures the machine, not
-// the service.
-func measureStream(label string, n int) (StreamEntry, error) {
+// deployment at the given shard count and returns the measured point
+// (the plain service at shards=1, a shard.Coordinator above). The
+// replay runs twice (a fresh deployment each time) and the faster run
+// is recorded: the first replay at the larger corpus sizes pays the OS
+// page-fault cost of growing the heap for the first time, which
+// measures the machine, not the service.
+func measureStream(label string, n, shards int) (StreamEntry, error) {
 	enricher := &streamEnricher{noise: benchdata.NoiseCounts(n)}
 	events := benchdata.StreamEvents(n)
 	cfg := stream.DefaultConfig()
 	var elapsed time.Duration
 	var st stream.Stats
 	for rep := 0; rep < 2; rep++ {
-		svc, err := stream.New(cfg, enricher)
+		var d time.Duration
+		var err error
+		if shards <= 1 {
+			var svc *stream.Service
+			svc, err = stream.New(cfg, enricher)
+			if err != nil {
+				return StreamEntry{}, err
+			}
+			start := time.Now()
+			err = stream.Replay(context.Background(), svc, events, 256)
+			d = time.Since(start)
+			st = svc.Stats()
+			svc.Close()
+		} else {
+			var c *shard.Coordinator
+			c, err = shard.New(shard.Config{Shards: shards, Stream: cfg}, enricher)
+			if err != nil {
+				return StreamEntry{}, err
+			}
+			ctx := context.Background()
+			start := time.Now()
+			for at := 0; at < len(events) && err == nil; at += 256 {
+				end := at + 256
+				if end > len(events) {
+					end = len(events)
+				}
+				err = c.Ingest(ctx, events[at:end])
+			}
+			if err == nil {
+				err = c.Flush(ctx)
+			}
+			d = time.Since(start)
+			st = c.Stats().Aggregate
+			c.Close()
+		}
 		if err != nil {
 			return StreamEntry{}, err
 		}
-		start := time.Now()
-		if err := stream.Replay(context.Background(), svc, events, 256); err != nil {
-			svc.Close()
-			return StreamEntry{}, err
-		}
-		d := time.Since(start)
-		st = svc.Stats()
-		svc.Close()
 		if st.Rejected != 0 || st.EnrichErrors != 0 || st.Events != len(events) {
-			return StreamEntry{}, fmt.Errorf("benchjson: unclean stream replay at n=%d: %+v", n, st)
+			return StreamEntry{}, fmt.Errorf("benchjson: unclean stream replay at n=%d shards=%d: %+v", n, shards, st)
 		}
 		if rep == 0 || d < elapsed {
 			elapsed = d
@@ -189,6 +253,7 @@ func measureStream(label string, n int) (StreamEntry, error) {
 		N:               n,
 		Events:          len(events),
 		EpochSize:       cfg.EpochSize,
+		Shards:          shards,
 		NsPerEvent:      elapsed.Nanoseconds() / int64(len(events)),
 		EventsPerSec:    float64(len(events)) / elapsed.Seconds(),
 		HeapAllocBytes:  mem.HeapAlloc,
@@ -199,28 +264,34 @@ func measureStream(label string, n int) (StreamEntry, error) {
 		BClusters:       st.B.Clusters,
 		Gomaxprocs:      runtime.GOMAXPROCS(0),
 	}
-	fmt.Printf("%s/stream-%d\t%d events\t%d ns/event\t%.0f events/s\theap=%dMB epochs=%d(full=%d)+%d clusters=%d\n",
-		label, n, e.Events, e.NsPerEvent, e.EventsPerSec, e.HeapAllocBytes>>20,
+	fmt.Printf("%s/stream-%d/shards-%d\t%d events\t%d ns/event\t%.0f events/s\theap=%dMB epochs=%d(full=%d)+%d clusters=%d\n",
+		label, n, shards, e.Events, e.NsPerEvent, e.EventsPerSec, e.HeapAllocBytes>>20,
 		e.EPMEpochs, e.EPMFullRegroups, e.BEpochs, e.BClusters)
 	return e, nil
 }
 
-// runStream measures the streaming service's sustained ingest rate.
-func runStream(path, label string) error {
+// runStream measures the deployment's sustained aggregate ingest rate
+// at every requested shard count.
+func runStream(path, label string, shardCounts []int) error {
 	entries, err := loadStream(path)
 	if err != nil {
 		return err
 	}
 	for _, n := range benchdata.StreamSizes {
-		e, err := measureStream(label, n)
-		if err != nil {
-			return err
+		for _, shards := range shardCounts {
+			e, err := measureStream(label, n, shards)
+			if err != nil {
+				return err
+			}
+			entries = upsertStream(entries, e)
 		}
-		entries = upsertStream(entries, e)
 	}
 	sort.Slice(entries, func(a, b int) bool {
 		if entries[a].N != entries[b].N {
 			return entries[a].N < entries[b].N
+		}
+		if entries[a].Shards != entries[b].Shards {
+			return entries[a].Shards < entries[b].Shards
 		}
 		return entries[a].Label < entries[b].Label
 	})
@@ -232,10 +303,10 @@ func runStream(path, label string) error {
 }
 
 // upsertStream merges one point in place: an existing entry with the
-// same (label, n) is replaced, never duplicated.
+// same (label, n, shards) is replaced, never duplicated.
 func upsertStream(entries []StreamEntry, e StreamEntry) []StreamEntry {
 	for i, old := range entries {
-		if old.Label == e.Label && old.N == e.N {
+		if old.Label == e.Label && old.N == e.N && old.Shards == e.Shards {
 			entries[i] = e
 			return entries
 		}
@@ -246,11 +317,11 @@ func upsertStream(entries []StreamEntry, e StreamEntry) []StreamEntry {
 // runGuard is the CI superlinearity canary: flat per-event cost means
 // the 10k point stays within guardMaxRatio of the 1k point.
 func runGuard() error {
-	small, err := measureStream("guard", 1000)
+	small, err := measureStream("guard", 1000, 1)
 	if err != nil {
 		return err
 	}
-	big, err := measureStream("guard", 10000)
+	big, err := measureStream("guard", 10000, 1)
 	if err != nil {
 		return err
 	}
@@ -275,6 +346,13 @@ func loadStream(path string) ([]StreamEntry, error) {
 	var entries []StreamEntry
 	if err := json.Unmarshal(raw, &entries); err != nil {
 		return nil, fmt.Errorf("parsing existing %s: %w", path, err)
+	}
+	// Entries written before the shards dimension existed measured the
+	// unsharded service; normalize so the upsert key never aliases.
+	for i := range entries {
+		if entries[i].Shards == 0 {
+			entries[i].Shards = 1
+		}
 	}
 	return entries, nil
 }

@@ -28,25 +28,46 @@ func TestUpsertReplacesSameKey(t *testing.T) {
 }
 
 // TestUpsertStreamReplacesSameKey is the same contract for the stream
-// file, keyed by (label, n).
+// file, keyed by (label, n, shards).
 func TestUpsertStreamReplacesSameKey(t *testing.T) {
 	entries := []StreamEntry{
-		{Label: "post-pr3", N: 1000, NsPerEvent: 23857},
-		{Label: "post-pr3", N: 10000, NsPerEvent: 48683},
+		{Label: "post-pr3", N: 1000, Shards: 1, NsPerEvent: 23857},
+		{Label: "post-pr3", N: 10000, Shards: 1, NsPerEvent: 48683},
 	}
-	entries = upsertStream(entries, StreamEntry{Label: "post-pr3", N: 10000, NsPerEvent: 20000})
+	entries = upsertStream(entries, StreamEntry{Label: "post-pr3", N: 10000, Shards: 1, NsPerEvent: 20000})
 	if len(entries) != 2 {
 		t.Fatalf("replacement appended: %d entries, want 2", len(entries))
 	}
 	if entries[1].NsPerEvent != 20000 {
 		t.Fatalf("entry not replaced in place: %+v", entries[1])
 	}
-	entries = upsertStream(entries, StreamEntry{Label: "post-pr6", N: 10000, NsPerEvent: 19000})
-	entries = upsertStream(entries, StreamEntry{Label: "post-pr3", N: 100000, NsPerEvent: 1})
-	if len(entries) != 4 {
-		t.Fatalf("distinct keys must append: %d entries, want 4", len(entries))
+	entries = upsertStream(entries, StreamEntry{Label: "post-pr6", N: 10000, Shards: 1, NsPerEvent: 19000})
+	entries = upsertStream(entries, StreamEntry{Label: "post-pr3", N: 100000, Shards: 1, NsPerEvent: 1})
+	// The shards dimension is part of the key: a 4-shard measurement of
+	// an already-measured (label, n) appends rather than clobbering the
+	// 1-shard point.
+	entries = upsertStream(entries, StreamEntry{Label: "post-pr3", N: 10000, Shards: 4, NsPerEvent: 5000})
+	if len(entries) != 5 {
+		t.Fatalf("distinct keys must append: %d entries, want 5", len(entries))
+	}
+	if entries[1].NsPerEvent != 20000 || entries[1].Shards != 1 {
+		t.Fatalf("1-shard entry clobbered by the 4-shard point: %+v", entries[1])
 	}
 	if entries[0].NsPerEvent != 23857 {
 		t.Fatalf("unrelated entry mutated: %+v", entries[0])
+	}
+}
+
+// TestParseShards pins the -stream-shards parser: list parsing,
+// whitespace tolerance, and rejection of out-of-range counts.
+func TestParseShards(t *testing.T) {
+	got, err := parseShards(" 1, 4 ")
+	if err != nil || len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("parseShards(\" 1, 4 \") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "257", "x"} {
+		if _, err := parseShards(bad); err == nil {
+			t.Fatalf("parseShards(%q) accepted", bad)
+		}
 	}
 }

@@ -24,10 +24,20 @@
 // should slow down) or 503 (service saturated) with a Retry-After
 // header instead of blocking the connection.
 //
+// With -shards N (N >= 2) the landscape is partitioned horizontally:
+// N independent shard services — each with its own ingest queue, apply
+// worker, WAL subdirectory, and incremental engines — behind a
+// deterministic router (stable hash of the sample MD5), with queries
+// answered from exact merged global views (see DESIGN.md §12). The WAL
+// root then holds one shard-NNNN/ subdirectory per shard plus a
+// shards.json manifest pinning the shard count; reopening with a
+// different -shards fails closed. -shards 1 (the default) keeps the
+// single-service layout from earlier releases.
+//
 // Usage:
 //
 //	landscaped [-addr :8844] [-seed N] [-small] [-scenario file.json]
-//	           [-epoch 256] [-queue 16] [-batch 64]
+//	           [-epoch 256] [-queue 16] [-batch 64] [-shards N]
 //	           [-wal-dir DIR] [-checkpoint-every 64] [-wal-nosync]
 //	           [-rate-limit N] [-burst N] [-admission-deadline D]
 //	           [-shed-target D] [-degrade-target D] [-max-waiters N]
@@ -64,7 +74,10 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/enrich"
 	"repro/internal/httpapi"
+	"repro/internal/shard"
 	"repro/internal/stream"
 )
 
@@ -77,6 +90,7 @@ type options struct {
 	queue        int
 	batch        int
 	parallelism  int
+	shards       int
 
 	walDir          string
 	checkpointEvery int
@@ -106,6 +120,7 @@ func main() {
 	flag.IntVar(&o.queue, "queue", 16, "ingest queue depth, in batches")
 	flag.IntVar(&o.batch, "batch", 64, "replay batch size, in events")
 	flag.IntVar(&o.parallelism, "parallelism", 0, "worker bound for epochs and sandbox runs (0 = GOMAXPROCS)")
+	flag.IntVar(&o.shards, "shards", 1, "horizontal shard count: independent services behind a deterministic router with merged views (1 = unsharded)")
 	flag.StringVar(&o.walDir, "wal-dir", "", "durability directory for the write-ahead log and checkpoints (empty = memory-only)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 64, "checkpoint automatically after every N applied batches (0 = only on /v1/checkpoint)")
 	flag.BoolVar(&o.walNoSync, "wal-nosync", false, "skip fsyncs on the WAL and checkpoints (faster, loses the last writes on power failure)")
@@ -168,13 +183,59 @@ func run(o options) error {
 		}
 	}
 
+	if o.shards < 1 || o.shards > shard.MaxShards {
+		return fmt.Errorf("-shards %d outside [1, %d]", o.shards, shard.MaxShards)
+	}
 	if o.replayTo != "" {
 		return replayOverHTTP(scenario, o.replayTo, o.batch, o.replayOffset, o.replayLimit, o.replayVerify)
 	}
 	if o.replay {
-		return replayInProcess(scenario, cfg, o.batch)
+		return replayInProcess(scenario, cfg, o.shards, o.batch)
 	}
-	return serve(scenario, cfg, o.addr)
+	return serve(scenario, cfg, o.shards, o.addr)
+}
+
+// backend is what the daemon hosts: the plain streaming service when
+// unsharded (keeping the single-service WAL layout from earlier
+// releases), the shard coordinator otherwise.
+type backend interface {
+	httpapi.Backend
+	Ingest(ctx context.Context, events []dataset.Event) error
+	Counts() (events, samples, executable, e, p, m, b int)
+	Close()
+}
+
+// newBackend builds the deployment around a shared enrichment pipeline
+// and reports how many WAL records recovery replayed.
+func newBackend(cfg stream.Config, shards int, pipe *enrich.Pipeline) (backend, int, error) {
+	if shards <= 1 {
+		svc, err := stream.New(cfg, pipe)
+		if err != nil {
+			return nil, 0, err
+		}
+		return svc, svc.Stats().WAL.RecoveredRecords, nil
+	}
+	c, err := shard.New(shard.Config{Shards: shards, Stream: cfg}, pipe)
+	if err != nil {
+		return nil, 0, err
+	}
+	recovered := 0
+	for i := 0; i < c.Shards(); i++ {
+		recovered += c.Shard(i).Stats().WAL.RecoveredRecords
+	}
+	return c, recovered, nil
+}
+
+// aggregateStats reduces either backend's stats to the shared
+// stream.Stats shape (the coordinator's aggregate).
+func aggregateStats(b backend) stream.Stats {
+	switch v := b.(type) {
+	case *stream.Service:
+		return v.Stats()
+	case *shard.Coordinator:
+		return v.Stats().Aggregate
+	}
+	return stream.Stats{}
 }
 
 // serve hosts the service until SIGINT/SIGTERM, then shuts down
@@ -185,10 +246,23 @@ func run(o options) error {
 // The listener binds before the service exists so /healthz and /readyz
 // answer during a long recovery; every other endpoint returns 503
 // until the service is ready.
-func serve(scenario core.Scenario, cfg stream.Config, addr string) error {
-	var svcp atomic.Pointer[stream.Service]
+func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string) error {
+	// atomic.Value over the concrete backend: the getter returns a nil
+	// interface until recovery finishes, never a typed-nil pointer.
+	var bp atomic.Value
+	load := func() backend {
+		if v := bp.Load(); v != nil {
+			return v.(backend)
+		}
+		return nil
+	}
 	server := &http.Server{
-		Handler:           httpapi.New(svcp.Load, 0),
+		Handler: httpapi.New(func() httpapi.Backend {
+			if b := load(); b != nil {
+				return b
+			}
+			return nil
+		}, 0),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      time.Minute,
@@ -212,39 +286,38 @@ func serve(scenario core.Scenario, cfg stream.Config, addr string) error {
 			initErr <- err
 			return
 		}
-		svc, err := stream.New(cfg, pipe)
+		b, recovered, err := newBackend(cfg, shards, pipe)
 		if err != nil {
 			initErr <- err
 			return
 		}
-		svcp.Store(svc)
-		st := svc.Stats()
+		bp.Store(b)
 		fmt.Printf("landscaped: ready in %v (recovered %d WAL records)\n",
-			time.Since(start).Round(time.Millisecond), st.WAL.RecoveredRecords)
+			time.Since(start).Round(time.Millisecond), recovered)
 		initErr <- nil
 	}()
-	fmt.Printf("landscaped: serving on %s (seed %d, epoch size %d, wal %q)\n",
-		addr, scenario.Seed, cfg.EpochSize, cfg.Durability.Dir)
+	fmt.Printf("landscaped: serving on %s (seed %d, epoch size %d, shards %d, wal %q)\n",
+		addr, scenario.Seed, cfg.EpochSize, shards, cfg.Durability.Dir)
 
 	shutdown := func() error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := server.Shutdown(shutdownCtx)
-		if svc := svcp.Load(); svc != nil {
+		if b := load(); b != nil {
 			if cfg.Durability.Dir != "" {
-				if cerr := svc.Checkpoint(shutdownCtx); cerr != nil && err == nil {
+				if cerr := b.Checkpoint(shutdownCtx); cerr != nil && err == nil {
 					err = fmt.Errorf("final checkpoint: %w", cerr)
 				}
 			}
-			svc.Close()
+			b.Close()
 		}
 		return err
 	}
 
 	select {
 	case err := <-serveErr:
-		if svc := svcp.Load(); svc != nil {
-			svc.Close()
+		if b := load(); b != nil {
+			b.Close()
 		}
 		return err
 	case err := <-initErr:
@@ -255,8 +328,8 @@ func serve(scenario core.Scenario, cfg stream.Config, addr string) error {
 		// Ready; keep serving until a signal or server failure.
 		select {
 		case err := <-serveErr:
-			if svc := svcp.Load(); svc != nil {
-				svc.Close()
+			if b := load(); b != nil {
+				b.Close()
 			}
 			return err
 		case <-ctx.Done():
@@ -270,37 +343,50 @@ func serve(scenario core.Scenario, cfg stream.Config, addr string) error {
 // replayInProcess is the convergence gate: it runs the batch pipeline,
 // replays the same events through a fresh streaming service, and fails
 // unless the final clusters and accounting coincide.
-func replayInProcess(scenario core.Scenario, cfg stream.Config, batch int) error {
+func replayInProcess(scenario core.Scenario, cfg stream.Config, shards, batch int) error {
 	res, err := core.Run(scenario)
 	if err != nil {
 		return err
 	}
-	svc, err := stream.New(cfg, res.Pipeline)
+	b, _, err := newBackend(cfg, shards, res.Pipeline)
 	if err != nil {
 		return err
 	}
-	defer svc.Close()
-	return convergeStream(svc, res, batch)
+	defer b.Close()
+	return convergeStream(b, res, batch)
 }
 
-// convergeStream replays the batch run's events into the service and
+// convergeStream replays the batch run's events into the backend and
 // asserts convergence. A mid-stream failure is reported as such — the
 // caller exits non-zero rather than printing a partial comparison.
-func convergeStream(svc *stream.Service, res *core.Results, batch int) error {
+func convergeStream(b backend, res *core.Results, batch int) error {
 	events := res.Dataset.Events()
+	if batch <= 0 {
+		batch = 64
+	}
+	ctx := context.Background()
 	start := time.Now()
-	if err := stream.Replay(context.Background(), svc, events, batch); err != nil {
+	for at := 0; at < len(events); at += batch {
+		end := at + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := b.Ingest(ctx, events[at:end]); err != nil {
+			return fmt.Errorf("replay failed mid-stream at event %d of %d: %w", at, len(events), err)
+		}
+	}
+	if err := b.Flush(ctx); err != nil {
 		return fmt.Errorf("replay failed mid-stream after a prefix of %d events: %w", len(events), err)
 	}
 	elapsed := time.Since(start)
 
 	bEvents, bSamples, bExec, bE, bP, bM, bB := res.Counts()
-	gEvents, gSamples, gExec, gE, gP, gM, gB := svc.Counts()
+	gEvents, gSamples, gExec, gE, gP, gM, gB := b.Counts()
 	fmt.Printf("batch : %6d events %5d samples %5d executable | E=%d P=%d M=%d B=%d\n",
 		bEvents, bSamples, bExec, bE, bP, bM, bB)
 	fmt.Printf("stream: %6d events %5d samples %5d executable | E=%d P=%d M=%d B=%d\n",
 		gEvents, gSamples, gExec, gE, gP, gM, gB)
-	st := svc.Stats()
+	st := aggregateStats(b)
 	fmt.Printf("replay: %d batches of <=%d events in %v (%.0f events/s), %d epochs (e/p/m) + %d (b), max queue depth %d\n",
 		(bEvents+batch-1)/batch, batch, elapsed.Round(time.Millisecond),
 		float64(gEvents)/elapsed.Seconds(), st.Epsilon.Epoch+st.Pi.Epoch+st.Mu.Epoch, st.B.Epochs, st.MaxQueueDepth)
@@ -371,8 +457,14 @@ func replayOverHTTP(scenario core.Scenario, baseURL string, batch, offset, limit
 	if !verify {
 		return nil
 	}
+	// A sharded daemon serves shard.Stats (per-shard telemetry around the
+	// aggregate); an unsharded one serves stream.Stats directly. Decode
+	// the sharded shape first and fall back on the Shards marker.
 	var st stream.Stats
-	if err := json.Unmarshal(raw, &st); err != nil {
+	var sst shard.Stats
+	if err := json.Unmarshal(raw, &sst); err == nil && sst.Shards > 0 {
+		st = sst.Aggregate
+	} else if err := json.Unmarshal(raw, &st); err != nil {
 		return fmt.Errorf("decoding daemon stats: %w", err)
 	}
 	res, err := core.Run(scenario)

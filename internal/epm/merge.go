@@ -1,0 +1,240 @@
+package epm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines the integrated state of several Incremental engines —
+// one per shard, over disjoint instance sets — into a single Clustering
+// that is byte-identical to RunParallel over the union of their ingested
+// instances. Pending (un-epoched) instances are excluded, mirroring each
+// engine's own Clustering.
+//
+// The union of per-shard pattern tables alone is not enough: invariant
+// status is monotone under merging (counts only grow, so every
+// shard-invariant value is globally invariant), but a value can cross
+// the relevance thresholds only in aggregate — say, four witnesses on
+// each of three shards with MinInstances ten. Such a crossing refines
+// patterns that the owning shards recorded with a wildcard at that
+// position. Merge therefore works from the sketches, not the patterns:
+//
+//  1. Fold the per-shard value sketches into global sketches (sum
+//     instance counts, union attacker and sensor sets) and derive the
+//     global invariant sets.
+//  2. For each shard, compute the newly-invariant values — globally
+//     invariant but not shard-invariant. A shard group is clean when no
+//     wildcard position of its pattern has a newly-invariant value;
+//     clean groups merge wholesale (member lists concatenate, attacker
+//     and sensor sets union). A dirty group's members are re-generalized
+//     individually under the global invariants, exactly as a shard's own
+//     full regroup would after the crossing.
+//  3. Materialize with RunParallel's total order (size desc, pattern key
+//     asc) and dense IDs.
+//
+// Non-wildcard positions never change: they hold shard-invariant values,
+// which stay invariant globally, so merging can only split groups at
+// wildcard positions — never coarsen them. The differential property
+// test proves the byte-identity, including the aggregate-only crossing.
+//
+// The returned Clustering is self-contained: member lists, invariant
+// sets, and indexes are copies, valid after the source engines advance.
+// Callers must not run engine epochs concurrently with Merge.
+func Merge(parts []*Incremental) (*Clustering, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("epm: merge of zero parts")
+	}
+	schema, th := parts[0].schema, parts[0].th
+	for _, p := range parts[1:] {
+		if err := sameSchema(schema, p.schema); err != nil {
+			return nil, err
+		}
+		if p.th != th {
+			return nil, fmt.Errorf("epm: merge with mismatched thresholds %+v vs %+v", p.th, th)
+		}
+	}
+	nf := len(schema.Features)
+
+	// Phase 1: global sketches and invariant sets.
+	type mergedSketch struct {
+		instances int
+		attackers map[string]struct{}
+		sensors   map[string]struct{}
+	}
+	global := make([]map[string]*mergedSketch, nf)
+	inv := make([]map[string]bool, nf)
+	for fi := 0; fi < nf; fi++ {
+		g := make(map[string]*mergedSketch)
+		for _, p := range parts {
+			for v, vs := range p.sketches[fi] {
+				m, ok := g[v]
+				if !ok {
+					m = &mergedSketch{
+						attackers: make(map[string]struct{}, len(vs.attackers)),
+						sensors:   make(map[string]struct{}, len(vs.sensors)),
+					}
+					g[v] = m
+				}
+				m.instances += vs.instances
+				for a := range vs.attackers {
+					m.attackers[a] = struct{}{}
+				}
+				for s := range vs.sensors {
+					m.sensors[s] = struct{}{}
+				}
+			}
+		}
+		iv := make(map[string]bool)
+		for v, m := range g {
+			if m.instances >= th.MinInstances &&
+				len(m.attackers) >= th.MinAttackers &&
+				len(m.sensors) >= th.MinSensors {
+				iv[v] = true
+			}
+		}
+		global[fi], inv[fi] = g, iv
+	}
+
+	// Phase 2: fold shard groups. mgroup mirrors igroup but owns its
+	// member storage, so the merged clustering survives engine epochs.
+	type mgroup struct {
+		pattern   Pattern
+		ids       []string
+		attackers map[string]struct{}
+		sensors   map[string]struct{}
+	}
+	acc := make(map[string]*mgroup)
+	fold := func(key string, pattern func() Pattern, ids []string, in *Instance) *mgroup {
+		m, ok := acc[key]
+		if !ok {
+			m = &mgroup{
+				pattern:   pattern(),
+				attackers: make(map[string]struct{}),
+				sensors:   make(map[string]struct{}),
+			}
+			acc[key] = m
+		}
+		m.ids = append(m.ids, ids...)
+		if in != nil {
+			m.ids = append(m.ids, in.ID)
+			m.attackers[in.Attacker] = struct{}{}
+			m.sensors[in.Sensor] = struct{}{}
+		}
+		return m
+	}
+	for _, p := range parts {
+		newInv := make([]map[string]bool, nf)
+		dirtyPossible := false
+		for fi := 0; fi < nf; fi++ {
+			var ni map[string]bool
+			for v := range inv[fi] {
+				if !p.invariants[fi][v] {
+					if ni == nil {
+						ni = make(map[string]bool)
+					}
+					ni[v] = true
+				}
+			}
+			newInv[fi] = ni
+			dirtyPossible = dirtyPossible || ni != nil
+		}
+		dirty := make(map[*igroup]bool)
+		for key, g := range p.groups {
+			isDirty := false
+			if dirtyPossible {
+				for fi, v := range g.pattern.Values {
+					if v == Wildcard && newInv[fi] != nil {
+						isDirty = true
+						break
+					}
+				}
+			}
+			if isDirty {
+				// A wildcard position gained invariants; members whose
+				// value there crossed must move to a more specific
+				// pattern. Re-generalize them individually below.
+				dirty[g] = true
+				continue
+			}
+			g := g
+			m := fold(key, func() Pattern { return g.pattern }, g.ids, nil)
+			for a := range g.attackers {
+				m.attackers[a] = struct{}{}
+			}
+			for s := range g.sensors {
+				m.sensors[s] = struct{}{}
+			}
+		}
+		if len(dirty) > 0 {
+			ingested := p.instances[:p.ingested]
+			for i := range ingested {
+				in := &ingested[i]
+				if !dirty[p.memberOf[in.ID]] {
+					continue
+				}
+				key := generalizedKeyWith(in.Values, inv)
+				fold(key, func() Pattern { return generalizeWith(in.Values, inv) }, nil, in)
+			}
+		}
+	}
+
+	// Phase 3: materialize in RunParallel's canonical order.
+	c := &Clustering{
+		Schema:     schema,
+		Thresholds: th,
+		Stats:      make([]FeatureStat, nf),
+		invariants: inv,
+		byInstance: make(map[string]int),
+		byPattern:  make(map[string]int, len(acc)),
+	}
+	for fi := 0; fi < nf; fi++ {
+		c.Stats[fi] = FeatureStat{
+			Feature:        schema.Features[fi],
+			Invariants:     len(inv[fi]),
+			DistinctValues: len(global[fi]),
+		}
+	}
+	order := make([]*mgroup, 0, len(acc))
+	for _, m := range acc {
+		sort.Strings(m.ids)
+		order = append(order, m)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if len(order[a].ids) != len(order[b].ids) {
+			return len(order[a].ids) > len(order[b].ids)
+		}
+		return order[a].pattern.Key() < order[b].pattern.Key()
+	})
+	c.Clusters = make([]Cluster, len(order))
+	for i, m := range order {
+		c.Clusters[i] = Cluster{
+			ID:          i,
+			Pattern:     m.pattern,
+			InstanceIDs: m.ids,
+			Attackers:   len(m.attackers),
+			Sensors:     len(m.sensors),
+		}
+		c.byPattern[m.pattern.Key()] = i
+		for _, id := range m.ids {
+			if _, ok := c.byInstance[id]; ok {
+				return nil, fmt.Errorf("epm: merge saw instance ID %q on more than one part", id)
+			}
+			c.byInstance[id] = i
+		}
+	}
+	return c, nil
+}
+
+// sameSchema checks that two dimension schemas are identical.
+func sameSchema(a, b Schema) error {
+	if a.Dimension != b.Dimension || len(a.Features) != len(b.Features) {
+		return fmt.Errorf("epm: merge with mismatched schemas %q vs %q", a.Dimension, b.Dimension)
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			return fmt.Errorf("epm: merge schemas differ at feature %d: %q vs %q",
+				i, a.Features[i], b.Features[i])
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,11 +32,26 @@ const DefaultMaxBody = 64 << 20
 // client key, so unidentified submitters share per-IP buckets.
 const ClientIDHeader = "X-Client-ID"
 
-// New builds the HTTP API around a streaming service. get returns nil
-// until the service has finished recovering; until then every service
+// Backend is the landscape the API serves: a single stream.Service or a
+// shard.Coordinator fanning out over several. Both return the same view
+// types, so the wire format does not depend on the deployment shape
+// (StatsPayload is the exception — the sharded stats add per-shard
+// telemetry around the same aggregate shape).
+type Backend interface {
+	IngestFrom(ctx context.Context, client string, events []dataset.Event) error
+	Flush(ctx context.Context) error
+	Checkpoint(ctx context.Context) error
+	EPMClusters(dim string) (stream.EPMView, error)
+	BClusters() stream.BView
+	Sample(id string) (stream.SampleView, bool)
+	StatsPayload() any
+}
+
+// New builds the HTTP API around a landscape backend. get returns nil
+// until the backend has finished recovering; until then every service
 // endpoint answers 503 while /healthz (liveness) stays 200. maxBody <= 0
 // selects DefaultMaxBody.
-func New(get func() *stream.Service, maxBody int64) http.Handler {
+func New(get func() Backend, maxBody int64) http.Handler {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBody
 	}
@@ -53,7 +69,7 @@ func New(get func() *stream.Service, maxBody int64) http.Handler {
 		writeJSON(w, map[string]string{"status": "ready"})
 	})
 	// ready wraps a handler with the recovery gate.
-	ready := func(h func(svc *stream.Service, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	ready := func(h func(svc Backend, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			svc := get()
 			if svc == nil {
@@ -63,10 +79,10 @@ func New(get func() *stream.Service, maxBody int64) http.Handler {
 			h(svc, w, r)
 		}
 	}
-	mux.HandleFunc("GET /v1/stats", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, svc.Stats())
+	mux.HandleFunc("GET /v1/stats", ready(func(svc Backend, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, svc.StatsPayload())
 	}))
-	mux.HandleFunc("POST /v1/ingest", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/ingest", ready(func(svc Backend, w http.ResponseWriter, r *http.Request) {
 		events, ok := decodeEvents(w, r, maxBody)
 		if !ok {
 			return
@@ -77,21 +93,21 @@ func New(get func() *stream.Service, maxBody int64) http.Handler {
 		}
 		writeJSON(w, map[string]int{"queued": len(events)})
 	}))
-	mux.HandleFunc("POST /v1/flush", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/flush", ready(func(svc Backend, w http.ResponseWriter, r *http.Request) {
 		if err := svc.Flush(r.Context()); err != nil {
 			writeServiceError(w, err)
 			return
 		}
 		writeJSON(w, map[string]string{"status": "flushed"})
 	}))
-	mux.HandleFunc("POST /v1/checkpoint", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/checkpoint", ready(func(svc Backend, w http.ResponseWriter, r *http.Request) {
 		if err := svc.Checkpoint(r.Context()); err != nil {
 			writeServiceError(w, err)
 			return
 		}
 		writeJSON(w, map[string]string{"status": "checkpointed"})
 	}))
-	mux.HandleFunc("GET /v1/clusters/{dim}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/clusters/{dim}", ready(func(svc Backend, w http.ResponseWriter, r *http.Request) {
 		dim := r.PathValue("dim")
 		if dim == "b" {
 			writeJSON(w, svc.BClusters())
@@ -104,7 +120,7 @@ func New(get func() *stream.Service, maxBody int64) http.Handler {
 		}
 		writeJSON(w, view)
 	}))
-	mux.HandleFunc("GET /v1/sample/{id}", ready(func(svc *stream.Service, w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/sample/{id}", ready(func(svc Backend, w http.ResponseWriter, r *http.Request) {
 		view, ok := svc.Sample(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown sample %q", r.PathValue("id")))

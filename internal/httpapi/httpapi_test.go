@@ -45,7 +45,7 @@ func (e blockEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool
 
 func newServer(t *testing.T, svc *stream.Service, maxBody int64) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(httpapi.New(func() *stream.Service { return svc }, maxBody))
+	ts := httptest.NewServer(httpapi.New(func() httpapi.Backend { return svc }, maxBody))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -160,7 +160,12 @@ func TestHandlerEndToEnd(t *testing.T) {
 // and every service endpoint answer 503; once ready, /readyz flips.
 func TestHandlerRecoveryGate(t *testing.T) {
 	var svc *stream.Service
-	ts := httptest.NewServer(httpapi.New(func() *stream.Service { return svc }, 0))
+	ts := httptest.NewServer(httpapi.New(func() httpapi.Backend {
+		if svc == nil {
+			return nil // a typed-nil *stream.Service would pass the gate
+		}
+		return svc
+	}, 0))
 	defer ts.Close()
 
 	status := func(method, path string) int {

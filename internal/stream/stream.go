@@ -156,6 +156,13 @@ type Service struct {
 	ds   *dataset.Dataset
 	dims [3]*dimension
 	b    *bcluster.Incremental
+	// version increments at the end of every applied mutation (batch or
+	// flush), under mu. Unlike applySeq — which advances when a request
+	// is logged, before its effects land — a version observed together
+	// with the engines under the read lock identifies exactly that
+	// state, which is what lets the shard coordinator cache merged
+	// views.
+	version uint64
 
 	applySeq uint64 // seq of the last applied (or logged) record
 
@@ -529,6 +536,7 @@ func (s *Service) applyBatch(events []dataset.Event, depth int) {
 
 	s.mu.Lock()
 	s.applyExecResults(execList, outs)
+	s.version++
 	s.mu.Unlock()
 }
 
@@ -765,6 +773,7 @@ func (s *Service) applyFlush() {
 	}
 	s.b.Verify()
 	s.flushes++
+	s.version++
 }
 
 // validateEvent screens an event for the invariants the EPM engine
