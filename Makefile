@@ -1,10 +1,10 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload smoke-shard fuzz-smoke
+.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload smoke-shard smoke-replica fuzz-smoke
 
 # Label for bench-json measurement campaigns; override per campaign:
-#   make bench-json LABEL=post-pr8
-LABEL ?= post-pr7
+#   make bench-json LABEL=post-pr9
+LABEL ?= post-pr8
 
 check: vet test race
 
@@ -95,6 +95,49 @@ smoke-shard:
 	go test -count=1 -race -run TestShardEquivalence ./internal/shard/
 	go run ./cmd/landscaped -replay -small -shards 4
 	go test -count=1 -run TestShardFloodSmoke -v ./internal/loadgen/
+
+# Replication smoke. First the in-process fan-out harness: flood a
+# durable primary (with a follower bootstrapping mid-flood and being
+# abandoned), then require byte-identical cluster views on two fresh
+# replicas at 1 and 4 shards plus the >=2x aggregate read-throughput
+# bound (enforced where the box has >=4 cores). Then a real daemon
+# pair: flood a -repl primary over HTTP, SIGKILL a follower
+# mid-catch-up, restart it, and require byte-identical views, a typed
+# read-only 403 for writes, and a clean offline -wal-verify walk of
+# the primary's log. Mirrors the CI "Replica smoke" step.
+smoke-replica:
+	go test -count=1 -run TestReplicaFanoutSmoke -v ./internal/loadgen/
+	go build -o /tmp/landscaped-repl ./cmd/landscaped
+	rm -rf /tmp/landscaped-repl-wal && mkdir -p /tmp/landscaped-repl-wal
+	/tmp/landscaped-repl -small -addr 127.0.0.1:18903 -repl \
+		-wal-dir /tmp/landscaped-repl-wal -checkpoint-every 2 -wal-nosync & \
+	PRIM=$$!; \
+	/tmp/landscaped-repl -small -replay-to http://127.0.0.1:18903 -batch 100; RC=$$?; \
+	if [ $$RC -ne 0 ]; then kill -KILL $$PRIM 2>/dev/null; exit $$RC; fi; \
+	/tmp/landscaped-repl -small -addr 127.0.0.1:18904 \
+		-follow http://127.0.0.1:18903 -repl-poll 200ms & \
+	FOLL=$$!; sleep 1; \
+	kill -KILL $$FOLL 2>/dev/null; wait $$FOLL 2>/dev/null; \
+	/tmp/landscaped-repl -small -addr 127.0.0.1:18904 \
+		-follow http://127.0.0.1:18903 -repl-poll 200ms & \
+	FOLL=$$!; RC=1; \
+	for i in $$(seq 1 120); do \
+		if curl -sf http://127.0.0.1:18904/readyz >/dev/null; then RC=0; break; fi; \
+		sleep 1; \
+	done; \
+	if [ $$RC -eq 0 ]; then \
+		for d in e p m b; do \
+			curl -sf http://127.0.0.1:18903/v1/clusters/$$d > /tmp/repl-prim-$$d.json && \
+			curl -sf http://127.0.0.1:18904/v1/clusters/$$d > /tmp/repl-foll-$$d.json && \
+			cmp /tmp/repl-prim-$$d.json /tmp/repl-foll-$$d.json || { RC=1; break; }; \
+		done; \
+	fi; \
+	curl -s -X POST -H 'Content-Type: application/json' -d '[]' \
+		http://127.0.0.1:18904/v1/ingest | grep -q read_only || RC=1; \
+	kill -TERM $$FOLL 2>/dev/null; wait $$FOLL 2>/dev/null; \
+	kill -TERM $$PRIM 2>/dev/null; wait $$PRIM 2>/dev/null; \
+	/tmp/landscaped-repl -wal-verify -wal-dir /tmp/landscaped-repl-wal || RC=1; \
+	rm -rf /tmp/landscaped-repl /tmp/landscaped-repl-wal /tmp/repl-*.json; exit $$RC
 
 # Short coverage-guided fuzz of the ingest decode -> validate -> apply
 # path (FuzzIngestPipeline). The minimize budget is capped in execs so a

@@ -10,13 +10,22 @@
 //
 // The stream bench carries a shards dimension (-stream-shards): each
 // point replays the corpus through a shard.Coordinator at that shard
-// count and records the aggregate events/sec, keyed (label, n, shards).
-// Entries written before the dimension existed load as shards=1.
+// count and records the aggregate events/sec, keyed (label, n, shards,
+// replicas). Entries written before the dimensions existed load as
+// shards=1, replicas=0.
+//
+// It also carries a replicas dimension (-stream-replicas): each point
+// boots a durable primary with the n=10k corpus, brings that many
+// read replicas to the primary's WAL head over the log-shipping
+// endpoints, and records the aggregate reads/sec across all serving
+// processes — the evidence that WAL-shipping followers multiply read
+// capacity. replicas=0 annotates the primary's write row with its own
+// read rate for the baseline.
 //
 // Usage:
 //
 //	benchjson [-o BENCH_bcluster.json] [-stream-o BENCH_stream.json] [-label current]
-//	          [-stream-shards 1,4]
+//	          [-stream-shards 1,4] [-stream-replicas 0,2]
 //	benchjson -guard
 //
 // -guard is the CI superlinearity canary: it replays the n=1k and n=10k
@@ -31,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -43,6 +53,9 @@ import (
 	"repro/internal/behavior"
 	"repro/internal/benchdata"
 	"repro/internal/dataset"
+	"repro/internal/httpapi"
+	"repro/internal/loadgen"
+	"repro/internal/replica"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
@@ -82,6 +95,14 @@ type StreamEntry struct {
 	// the plain unsharded service); EventsPerSec is the aggregate rate
 	// across all shards. Pre-sharding entries load as Shards=1.
 	Shards int `json:"shards"`
+	// Replicas is the read-replica count of the read-fan-out
+	// measurement: ReadsPerSec is the aggregate successful query rate
+	// across the primary plus Replicas caught-up followers. Replicas=0
+	// annotates the plain write row with the primary's own read rate;
+	// rows with Replicas>0 measure reads only (the ingest figures stay
+	// zero — the corpus is replicated, not re-ingested).
+	Replicas    int     `json:"replicas"`
+	ReadsPerSec float64 `json:"reads_per_sec,omitempty"`
 	// NsPerEvent and EventsPerSec measure one full replay (ingest through
 	// final flush, enrichment stubbed to a profile lookup).
 	NsPerEvent   int64   `json:"ns_per_event"`
@@ -111,6 +132,7 @@ func main() {
 	streamOut := flag.String("stream-o", "BENCH_stream.json", "streaming-service throughput JSON path (merged in place; empty disables)")
 	label := flag.String("label", "current", "label for this measurement campaign")
 	streamShards := flag.String("stream-shards", "1,4", "comma-separated shard counts to measure the stream bench at")
+	streamReplicas := flag.String("stream-replicas", "0,2", "comma-separated read-replica counts for the read-fan-out bench (0 = the primary's own read rate; empty disables)")
 	guard := flag.Bool("guard", false, "superlinearity canary: bench the stream at n=1k and n=10k, write nothing, fail if the ns/event ratio exceeds the threshold")
 	flag.Parse()
 
@@ -135,11 +157,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		if err := runStream(*streamOut, *label, shardCounts); err != nil {
+		replicaCounts, err := parseReplicas(*streamReplicas)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := runStream(*streamOut, *label, shardCounts, replicaCounts); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// parseReplicas parses the -stream-replicas list; unlike shards, 0 is
+// meaningful (the primary alone) and an empty list disables the bench.
+func parseReplicas(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 || n > 16 {
+			return nil, fmt.Errorf("-stream-replicas: bad replica count %q (want 0..16)", f)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // parseShards parses the -stream-shards list.
@@ -270,9 +315,89 @@ func measureStream(label string, n, shards int) (StreamEntry, error) {
 	return e, nil
 }
 
+// readFanN is the corpus size of the read-fan-out measurement: large
+// enough that the served views have real weight, small enough that
+// bootstrapping the followers stays cheap.
+const readFanN = 10000
+
+// measureReadFanout boots a durable primary holding the n-sample
+// corpus plus the log-shipping endpoints, brings the requested number
+// of read replicas to the primary's WAL head over HTTP, and measures
+// the aggregate successful query rate across every serving process.
+func measureReadFanout(label string, n, replicas int) (StreamEntry, error) {
+	enricher := &streamEnricher{noise: benchdata.NoiseCounts(n)}
+	events := benchdata.StreamEvents(n)
+	cfg := stream.DefaultConfig()
+	dir, err := os.MkdirTemp("", "benchjson-repl-")
+	if err != nil {
+		return StreamEntry{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Durability = stream.Durability{Dir: dir, NoSync: true}
+	svc, err := stream.New(cfg, enricher)
+	if err != nil {
+		return StreamEntry{}, err
+	}
+	defer svc.Close()
+	if err := stream.Replay(context.Background(), svc, events, 256); err != nil {
+		return StreamEntry{}, err
+	}
+	srcDir, log := svc.ReplicationSource()
+	pub, err := replica.NewPublisher([]replica.Source{{Dir: srcDir, Log: log}})
+	if err != nil {
+		return StreamEntry{}, err
+	}
+	primarySrv := httptest.NewServer(httpapi.New(
+		func() httpapi.Backend { return svc },
+		httpapi.Options{Repl: pub.Handler()}))
+	defer primarySrv.Close()
+
+	targets := []string{primarySrv.URL}
+	for r := 0; r < replicas; r++ {
+		f, err := replica.NewFollower(replica.FollowerConfig{
+			Primary:  primarySrv.URL,
+			Stream:   cfg,
+			Enricher: enricher,
+		})
+		if err != nil {
+			return StreamEntry{}, err
+		}
+		defer f.Close()
+		if err := f.Bootstrap(context.Background()); err != nil {
+			return StreamEntry{}, fmt.Errorf("bootstrapping replica %d: %w", r, err)
+		}
+		srv := httptest.NewServer(httpapi.New(
+			func() httpapi.Backend { return f },
+			httpapi.Options{Readiness: f.Ready}))
+		defer srv.Close()
+		targets = append(targets, srv.URL)
+	}
+	report := loadgen.RunReads(loadgen.ReadPlan{
+		Targets:          targets,
+		ClientsPerTarget: 2,
+		Duration:         time.Second,
+	})
+	if report.Errors > 0 {
+		return StreamEntry{}, fmt.Errorf("read fan-out at replicas=%d hit %d errors", replicas, report.Errors)
+	}
+	e := StreamEntry{
+		Label:       label,
+		N:           n,
+		Events:      len(events),
+		EpochSize:   cfg.EpochSize,
+		Shards:      1,
+		Replicas:    replicas,
+		ReadsPerSec: report.QPS(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("%s/readfan-%d/replicas-%d\t%s\n", label, n, replicas, report)
+	return e, nil
+}
+
 // runStream measures the deployment's sustained aggregate ingest rate
-// at every requested shard count.
-func runStream(path, label string, shardCounts []int) error {
+// at every requested shard count, then the read-fan-out trajectory at
+// every requested replica count.
+func runStream(path, label string, shardCounts, replicaCounts []int) error {
 	entries, err := loadStream(path)
 	if err != nil {
 		return err
@@ -286,12 +411,37 @@ func runStream(path, label string, shardCounts []int) error {
 			entries = upsertStream(entries, e)
 		}
 	}
+	for _, replicas := range replicaCounts {
+		e, err := measureReadFanout(label, readFanN, replicas)
+		if err != nil {
+			return err
+		}
+		if replicas == 0 {
+			// The primary's own read rate annotates its write row (same
+			// key) instead of shadowing it with a reads-only entry.
+			merged := false
+			for i := range entries {
+				if entries[i].Label == label && entries[i].N == e.N &&
+					entries[i].Shards == 1 && entries[i].Replicas == 0 {
+					entries[i].ReadsPerSec = e.ReadsPerSec
+					merged = true
+				}
+			}
+			if merged {
+				continue
+			}
+		}
+		entries = upsertStream(entries, e)
+	}
 	sort.Slice(entries, func(a, b int) bool {
 		if entries[a].N != entries[b].N {
 			return entries[a].N < entries[b].N
 		}
 		if entries[a].Shards != entries[b].Shards {
 			return entries[a].Shards < entries[b].Shards
+		}
+		if entries[a].Replicas != entries[b].Replicas {
+			return entries[a].Replicas < entries[b].Replicas
 		}
 		return entries[a].Label < entries[b].Label
 	})
@@ -303,10 +453,10 @@ func runStream(path, label string, shardCounts []int) error {
 }
 
 // upsertStream merges one point in place: an existing entry with the
-// same (label, n, shards) is replaced, never duplicated.
+// same (label, n, shards, replicas) is replaced, never duplicated.
 func upsertStream(entries []StreamEntry, e StreamEntry) []StreamEntry {
 	for i, old := range entries {
-		if old.Label == e.Label && old.N == e.N && old.Shards == e.Shards {
+		if old.Label == e.Label && old.N == e.N && old.Shards == e.Shards && old.Replicas == e.Replicas {
 			entries[i] = e
 			return entries
 		}

@@ -34,6 +34,17 @@
 // different -shards fails closed. -shards 1 (the default) keeps the
 // single-service layout from earlier releases.
 //
+// With -repl (requires -wal-dir) the daemon is a replication primary:
+// it additionally serves the log-shipping endpoints under /v1/repl/ —
+// segment manifests, checkpoint blobs, and CRC-framed record streams.
+// With -follow URL it is instead a read replica of that primary: it
+// bootstraps every shard from the primary's newest checkpoint, replays
+// the shipped WAL suffix through the same apply path (so its views are
+// byte-identical), tails new records every -repl-poll, answers all
+// read endpoints, and refuses writes with a typed 403. Replication lag
+// is reported in /v1/stats and gates /readyz via -max-lag (see
+// DESIGN.md §13).
+//
 // Usage:
 //
 //	landscaped [-addr :8844] [-seed N] [-small] [-scenario file.json]
@@ -41,6 +52,10 @@
 //	           [-wal-dir DIR] [-checkpoint-every 64] [-wal-nosync]
 //	           [-rate-limit N] [-burst N] [-admission-deadline D]
 //	           [-shed-target D] [-degrade-target D] [-max-waiters N]
+//	           [-repl]
+//	landscaped -follow URL [flags]      # read replica of a -repl primary
+//	           [-repl-poll 500ms] [-max-lag D]
+//	landscaped -wal-verify -wal-dir DIR # offline WAL integrity walk
 //	landscaped -replay [flags]          # in-process replay + convergence check
 //	landscaped -replay-to URL [flags]   # replay the scenario over HTTP
 //	           [-replay-offset N] [-replay-limit N] [-replay-verify]
@@ -55,12 +70,17 @@
 //	POST /v1/checkpoint    force a checkpoint (requires -wal-dir)
 //	GET  /healthz          liveness: the process is up
 //	GET  /readyz           readiness: recovery finished, queries answer
+//	                       (on a replica: bootstrapped and within -max-lag)
+//	GET  /v1/repl/segments                       -repl only: shipping manifest
+//	GET  /v1/repl/checkpoint/{shard}             -repl only: checkpoint blob
+//	GET  /v1/repl/segment/{shard}/{first}?from=N -repl only: frame stream
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +88,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -77,8 +98,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/enrich"
 	"repro/internal/httpapi"
+	"repro/internal/replica"
 	"repro/internal/shard"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 type options struct {
@@ -102,6 +125,12 @@ type options struct {
 	shedTarget        time.Duration
 	degradeTarget     time.Duration
 	maxWaiters        int
+
+	repl      bool
+	follow    string
+	replPoll  time.Duration
+	maxLag    time.Duration
+	walVerify bool
 
 	replay       bool
 	replayTo     string
@@ -130,6 +159,11 @@ func main() {
 	flag.DurationVar(&o.shedTarget, "shed-target", 0, "smoothed queue-delay target; above it incoming batches are shed with 503s (0 = never shed)")
 	flag.DurationVar(&o.degradeTarget, "degrade-target", 0, "smoothed queue-delay threshold for degraded mode: epoch work deferred, queries marked degraded (0 = never degrade)")
 	flag.IntVar(&o.maxWaiters, "max-waiters", 0, "producers allowed to block on a full queue before fast 503s (0 = unlimited)")
+	flag.BoolVar(&o.repl, "repl", false, "serve the log-shipping endpoints under /v1/repl/ so followers can replicate (requires -wal-dir)")
+	flag.StringVar(&o.follow, "follow", "", "run as a read replica of the primary landscaped at this base URL: bootstrap from its checkpoint, tail its WAL, refuse writes")
+	flag.DurationVar(&o.replPoll, "repl-poll", 500*time.Millisecond, "with -follow: how often the replica polls the primary for new records")
+	flag.DurationVar(&o.maxLag, "max-lag", 0, "with -follow: /readyz flips to 503 when the replica has not been caught up within this duration (0 = always ready once bootstrapped)")
+	flag.BoolVar(&o.walVerify, "wal-verify", false, "walk every WAL segment under -wal-dir (all shards), verify CRCs and seq contiguity, and exit non-zero on corruption")
 	flag.BoolVar(&o.replay, "replay", false, "replay the scenario in-process, assert convergence with the batch pipeline, and exit")
 	flag.StringVar(&o.replayTo, "replay-to", "", "replay the scenario's events over HTTP to a running landscaped at this base URL, then exit")
 	flag.IntVar(&o.replayOffset, "replay-offset", 0, "with -replay-to: skip the first N events")
@@ -186,13 +220,65 @@ func run(o options) error {
 	if o.shards < 1 || o.shards > shard.MaxShards {
 		return fmt.Errorf("-shards %d outside [1, %d]", o.shards, shard.MaxShards)
 	}
+	if o.walVerify {
+		if o.walDir == "" {
+			return fmt.Errorf("-wal-verify needs -wal-dir")
+		}
+		return verifyWAL(o.walDir)
+	}
+	if o.repl && o.walDir == "" {
+		return fmt.Errorf("-repl needs -wal-dir: followers replicate the WAL")
+	}
+	if o.follow != "" {
+		if o.walDir != "" {
+			return fmt.Errorf("-follow is memory-only (replicas re-bootstrap from the primary); drop -wal-dir")
+		}
+		if o.repl {
+			return fmt.Errorf("-follow and -repl are mutually exclusive; chained replication is not supported")
+		}
+		return serveFollower(scenario, cfg, o)
+	}
 	if o.replayTo != "" {
 		return replayOverHTTP(scenario, o.replayTo, o.batch, o.replayOffset, o.replayLimit, o.replayVerify)
 	}
 	if o.replay {
 		return replayInProcess(scenario, cfg, o.shards, o.batch)
 	}
-	return serve(scenario, cfg, o.shards, o.addr)
+	return serve(scenario, cfg, o.shards, o.addr, o.repl)
+}
+
+// verifyWAL is the offline integrity walk: every segment of every
+// shard is read end to end, checking CRCs and seq contiguity. A torn
+// newest segment is a warning (the next open repairs it); anything
+// else names the offending segment and exits non-zero.
+func verifyWAL(root string) error {
+	dirs := []string{root}
+	if raw, err := os.ReadFile(filepath.Join(root, "shards.json")); err == nil {
+		var m struct {
+			Shards int `json:"shards"`
+		}
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return fmt.Errorf("corrupt shards.json: %w", err)
+		}
+		dirs = dirs[:0]
+		for i := 0; i < m.Shards; i++ {
+			dirs = append(dirs, filepath.Join(root, fmt.Sprintf("shard-%04d", i)))
+		}
+	}
+	for _, dir := range dirs {
+		segments, records, err := wal.VerifyDir(dir)
+		var verr *wal.VerifyError
+		if errors.As(err, &verr) && verr.Repairable {
+			fmt.Printf("%s: %d segments, %d records, torn tail in %s (repaired on next open)\n",
+				dir, segments, records, verr.Path)
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", dir, err)
+		}
+		fmt.Printf("%s: %d segments, %d records, all frames verified\n", dir, segments, records)
+	}
+	return nil
 }
 
 // backend is what the daemon hosts: the plain streaming service when
@@ -226,6 +312,140 @@ func newBackend(cfg stream.Config, shards int, pipe *enrich.Pipeline) (backend, 
 	return c, recovered, nil
 }
 
+// newPublisher wraps the backend's live WALs in the log-shipping
+// publisher and flips the advertised role to primary.
+func newPublisher(b backend) (*replica.Publisher, error) {
+	var sources []replica.Source
+	switch v := b.(type) {
+	case *stream.Service:
+		dir, log := v.ReplicationSource()
+		sources = []replica.Source{{Dir: dir, Log: log}}
+		v.SetRole(stream.RolePrimary)
+	case *shard.Coordinator:
+		for i := 0; i < v.Shards(); i++ {
+			dir, log := v.Shard(i).ReplicationSource()
+			sources = append(sources, replica.Source{Dir: dir, Log: log})
+		}
+		v.SetRole(stream.RolePrimary)
+	default:
+		return nil, fmt.Errorf("unsupported backend %T for replication", b)
+	}
+	return replica.NewPublisher(sources)
+}
+
+// serveFollower runs the daemon as a read replica: bootstrap the full
+// state from the primary's checkpoint plus WAL suffix, tail new
+// records on a polling loop, and serve the read endpoints. Writes
+// answer a typed 403; /readyz reports 503 until the bootstrap lands
+// and again whenever the replica falls past -max-lag. Local
+// durability is off — a restarted replica re-bootstraps, the primary
+// owns the log.
+func serveFollower(scenario core.Scenario, cfg stream.Config, o options) error {
+	var fp atomic.Value
+	load := func() *replica.Follower {
+		if v := fp.Load(); v != nil {
+			return v.(*replica.Follower)
+		}
+		return nil
+	}
+	server := &http.Server{
+		Handler: httpapi.New(func() httpapi.Backend {
+			if f := load(); f != nil {
+				return f
+			}
+			return nil
+		}, httpapi.Options{
+			Readiness: func() error {
+				if f := load(); f != nil {
+					return f.Ready()
+				}
+				return nil // the nil-backend gate already answered
+			},
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	initErr := make(chan error, 1)
+	go func() {
+		start := time.Now()
+		_, _, pipe, err := core.Prepare(scenario)
+		if err != nil {
+			initErr <- err
+			return
+		}
+		f, err := replica.NewFollower(replica.FollowerConfig{
+			Primary:  o.follow,
+			Stream:   cfg,
+			Enricher: pipe,
+			Poll:     o.replPoll,
+			MaxLag:   o.maxLag,
+		})
+		if err != nil {
+			initErr <- err
+			return
+		}
+		if err := f.Bootstrap(ctx); err != nil {
+			f.Close()
+			initErr <- fmt.Errorf("bootstrap from %s: %w", o.follow, err)
+			return
+		}
+		f.Start()
+		fp.Store(f)
+		lag := f.Lag()
+		fmt.Printf("landscaped: replica ready in %v (applied %v from %s)\n",
+			time.Since(start).Round(time.Millisecond), lag.AppliedSeq, o.follow)
+		initErr <- nil
+	}()
+	fmt.Printf("landscaped: replica serving on %s (following %s, poll %v, max lag %v)\n",
+		o.addr, o.follow, o.replPoll, o.maxLag)
+
+	shutdown := func() error {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := server.Shutdown(shutdownCtx)
+		if f := load(); f != nil {
+			f.Close()
+		}
+		return err
+	}
+
+	select {
+	case err := <-serveErr:
+		if f := load(); f != nil {
+			f.Close()
+		}
+		return err
+	case err := <-initErr:
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("startup: %w", err)
+		}
+		select {
+		case err := <-serveErr:
+			if f := load(); f != nil {
+				f.Close()
+			}
+			return err
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+	}
+	fmt.Println("landscaped: replica shutting down")
+	return shutdown()
+}
+
 // aggregateStats reduces either backend's stats to the shared
 // stream.Stats shape (the coordinator's aggregate).
 func aggregateStats(b backend) stream.Stats {
@@ -246,7 +466,7 @@ func aggregateStats(b backend) stream.Stats {
 // The listener binds before the service exists so /healthz and /readyz
 // answer during a long recovery; every other endpoint returns 503
 // until the service is ready.
-func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string) error {
+func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string, repl bool) error {
 	// atomic.Value over the concrete backend: the getter returns a nil
 	// interface until recovery finishes, never a typed-nil pointer.
 	var bp atomic.Value
@@ -256,13 +476,27 @@ func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string) e
 		}
 		return nil
 	}
+	opts := httpapi.Options{}
+	// The shipping publisher exists only after recovery builds the
+	// backend (it wraps the live WALs), but the mux is built now — so
+	// mount a gate that 503s until the publisher lands.
+	var pub atomic.Value
+	if repl {
+		opts.Repl = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if v := pub.Load(); v != nil {
+				v.(http.Handler).ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, `{"error":"primary is recovering"}`, http.StatusServiceUnavailable)
+		})
+	}
 	server := &http.Server{
 		Handler: httpapi.New(func() httpapi.Backend {
 			if b := load(); b != nil {
 				return b
 			}
 			return nil
-		}, 0),
+		}, opts),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      time.Minute,
@@ -290,6 +524,15 @@ func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string) e
 		if err != nil {
 			initErr <- err
 			return
+		}
+		if repl {
+			p, err := newPublisher(b)
+			if err != nil {
+				b.Close()
+				initErr <- err
+				return
+			}
+			pub.Store(p.Handler())
 		}
 		bp.Store(b)
 		fmt.Printf("landscaped: ready in %v (recovered %d WAL records)\n",

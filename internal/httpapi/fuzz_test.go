@@ -47,7 +47,7 @@ func FuzzIngestPipeline(f *testing.F) {
 			t.Fatal(err)
 		}
 		defer svc.Close()
-		handler := httpapi.New(func() httpapi.Backend { return svc }, 1<<20)
+		handler := httpapi.New(func() httpapi.Backend { return svc }, httpapi.Options{MaxBody: 1 << 20})
 
 		req := httptest.NewRequest("POST", "/v1/ingest", strings.NewReader(string(body)))
 		req.Header.Set("Content-Type", "application/json")

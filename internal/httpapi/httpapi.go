@@ -47,11 +47,27 @@ type Backend interface {
 	StatsPayload() any
 }
 
+// Options tunes the API beyond the backend itself.
+type Options struct {
+	// MaxBody caps POST bodies; <= 0 selects DefaultMaxBody.
+	MaxBody int64
+	// Repl, when set, is mounted under GET /v1/repl/ — the primary's
+	// log-shipping surface (an internal/replica.Publisher handler,
+	// opaque here so this package never depends on the replication
+	// machinery).
+	Repl http.Handler
+	// Readiness, when set, adds a condition to /readyz beyond "the
+	// backend exists": a replica reports its replication lag here, so
+	// load balancers stop routing to a follower that fell too far
+	// behind. The returned error becomes the advertised reason.
+	Readiness func() error
+}
+
 // New builds the HTTP API around a landscape backend. get returns nil
 // until the backend has finished recovering; until then every service
-// endpoint answers 503 while /healthz (liveness) stays 200. maxBody <= 0
-// selects DefaultMaxBody.
-func New(get func() Backend, maxBody int64) http.Handler {
+// endpoint answers 503 while /healthz (liveness) stays 200.
+func New(get func() Backend, opts Options) http.Handler {
+	maxBody := opts.MaxBody
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBody
 	}
@@ -66,8 +82,19 @@ func New(get func() Backend, maxBody int64) http.Handler {
 			json.NewEncoder(w).Encode(map[string]string{"status": "recovering"})
 			return
 		}
+		if opts.Readiness != nil {
+			if err := opts.Readiness(); err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(map[string]string{"status": "lagging", "reason": err.Error()})
+				return
+			}
+		}
 		writeJSON(w, map[string]string{"status": "ready"})
 	})
+	if opts.Repl != nil {
+		mux.Handle("GET /v1/repl/", opts.Repl)
+	}
 	// ready wraps a handler with the recovery gate.
 	ready := func(h func(svc Backend, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -181,12 +208,25 @@ func decodeEvents(w http.ResponseWriter, r *http.Request, maxBody int64) ([]data
 }
 
 // writeServiceError maps a service-side ingest/flush/checkpoint failure
-// onto the wire: admission rejections become 429 (the client should
+// onto the wire: writes to a read-only replica become a typed 403 (use
+// the primary; no Retry-After, retrying here can never succeed);
+// admission rejections become 429 (the client should
 // slow down: rate-limit, deadline) or 503 (the service is saturated:
 // queue-full, shed) with a Retry-After header; the fail-closed fatal
 // state is 500 (operator intervention — restart — required); anything
 // else is 503.
 func writeServiceError(w http.ResponseWriter, err error) {
+	if errors.Is(err, stream.ErrReadOnly) {
+		// A replica: the write is not retryable here, ever — the client
+		// must target the primary, so this is a typed 403, not a 503.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error":  err.Error(),
+			"reason": "read_only",
+		})
+		return
+	}
 	if rej, ok := admission.AsRejection(err); ok {
 		code := http.StatusServiceUnavailable
 		if rej.Reason == admission.ReasonRateLimit || rej.Reason == admission.ReasonDeadline {

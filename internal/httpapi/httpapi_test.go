@@ -2,10 +2,13 @@ package httpapi_test
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -45,7 +48,7 @@ func (e blockEnricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool
 
 func newServer(t *testing.T, svc *stream.Service, maxBody int64) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(httpapi.New(func() httpapi.Backend { return svc }, maxBody))
+	ts := httptest.NewServer(httpapi.New(func() httpapi.Backend { return svc }, httpapi.Options{MaxBody: maxBody}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -165,7 +168,7 @@ func TestHandlerRecoveryGate(t *testing.T) {
 			return nil // a typed-nil *stream.Service would pass the gate
 		}
 		return svc
-	}, 0))
+	}, httpapi.Options{}))
 	defer ts.Close()
 
 	status := func(method, path string) int {
@@ -501,5 +504,154 @@ func TestFatalServiceAnswers500(t *testing.T) {
 	}
 	if st.Fatal == "" {
 		t.Fatal("stats must surface the fail-closed error")
+	}
+}
+
+// TestReplicaWritesForbidden is the satellite table: every write
+// endpoint on a read-only replica backend answers a typed 403 with
+// reason "read_only" and no Retry-After (retrying a replica can never
+// succeed), while the read endpoints keep serving.
+func TestReplicaWritesForbidden(t *testing.T) {
+	rep, err := stream.NewReplica(stream.DefaultConfig(), nopEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Close)
+	ts := newServer(t, rep, 0)
+
+	cases := []struct {
+		name string
+		path string
+		body string
+	}{
+		{"ingest", "/v1/ingest", "[]"},
+		{"ingest with events", "/v1/ingest", `[{"id":"ev1","attacker":"1.2.3.4"}]`},
+		{"flush", "/v1/flush", ""},
+		{"checkpoint", "/v1/checkpoint", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusForbidden {
+				t.Fatalf("%s on a replica: %s, want 403", tc.path, resp.Status)
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				t.Fatalf("403 carries Retry-After %q; the client must switch to the primary, not retry", ra)
+			}
+			var body map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("unstructured 403 body: %v", err)
+			}
+			if body["reason"] != "read_only" || body["error"] == "" {
+				t.Fatalf("403 body %v, want reason read_only and an error message", body)
+			}
+		})
+	}
+
+	// Reads still serve on the same backend.
+	resp, err := http.Get(ts.URL + "/v1/clusters/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read on a replica: %s, want 200", resp.Status)
+	}
+}
+
+// TestStatsRoleAndUptime checks /v1/stats carries the process role and
+// a sane uptime for both a standalone service and a replica.
+func TestStatsRoleAndUptime(t *testing.T) {
+	svc := newService(t, stream.DefaultConfig(), nopEnricher{})
+	rep, err := stream.NewReplica(stream.DefaultConfig(), nopEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Close)
+
+	for _, tc := range []struct {
+		name     string
+		backend  httpapi.Backend
+		wantRole string
+	}{
+		{"standalone", svc, "standalone"},
+		{"replica", rep, "replica"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := newServer(t, tc.backend.(*stream.Service), 0)
+			resp, err := http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var st struct {
+				Role     string `json:"role"`
+				UptimeMS *int64 `json:"uptime_ms"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Role != tc.wantRole {
+				t.Fatalf("role %q, want %q", st.Role, tc.wantRole)
+			}
+			if st.UptimeMS == nil || *st.UptimeMS < 0 {
+				t.Fatalf("uptime_ms %v, want a non-negative field", st.UptimeMS)
+			}
+		})
+	}
+}
+
+// TestReadinessOption checks the pluggable readiness gate: /readyz
+// reflects the callback (503 "lagging" with the reason) without
+// touching the service endpoints, and the Repl handler mounts under
+// /v1/repl/.
+func TestReadinessOption(t *testing.T) {
+	svc := newService(t, stream.DefaultConfig(), nopEnricher{})
+	lagging := errors.New("stale by 3s")
+	var gate error
+	var mu sync.Mutex
+	ts := httptest.NewServer(httpapi.New(
+		func() httpapi.Backend { return svc },
+		httpapi.Options{
+			Readiness: func() error { mu.Lock(); defer mu.Unlock(); return gate },
+			Repl: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Write([]byte("shipping"))
+			}),
+		}))
+	t.Cleanup(ts.Close)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz with a nil gate: %d, want 200", code)
+	}
+	mu.Lock()
+	gate = lagging
+	mu.Unlock()
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while lagging: %d, want 503", code)
+	}
+	if !strings.Contains(body, "lagging") || !strings.Contains(body, "stale by 3s") {
+		t.Fatalf("lagging readyz body %q must carry the status and reason", body)
+	}
+	if code, _ := get("/v1/stats"); code != http.StatusOK {
+		t.Fatalf("stats while lagging: %d; lag gates routing, not queries", code)
+	}
+	if code, body := get("/v1/repl/segments"); code != http.StatusOK || body != "shipping" {
+		t.Fatalf("repl mount: %d %q", code, body)
 	}
 }

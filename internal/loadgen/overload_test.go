@@ -65,7 +65,7 @@ func newOverloadServer(t *testing.T, cfg stream.Config, enr stream.Enricher) (*s
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	srv := httptest.NewServer(httpapi.New(func() httpapi.Backend { return svc }, 0))
+	srv := httptest.NewServer(httpapi.New(func() httpapi.Backend { return svc }, httpapi.Options{}))
 	t.Cleanup(srv.Close)
 	return svc, srv
 }

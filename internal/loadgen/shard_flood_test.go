@@ -56,7 +56,7 @@ func runShardFlood(t *testing.T, shards int, enr stream.Enricher) (*shard.Coordi
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	srv := httptest.NewServer(httpapi.New(func() httpapi.Backend { return c }, 0))
+	srv := httptest.NewServer(httpapi.New(func() httpapi.Backend { return c }, httpapi.Options{}))
 	t.Cleanup(srv.Close)
 
 	plans := shardFloodPlans()

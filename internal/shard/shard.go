@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/admission"
 	"repro/internal/dataset"
@@ -115,6 +116,11 @@ type Coordinator struct {
 	nextStable   [3]int
 	mergeErrors  int
 	lastMergeErr string
+
+	// Replication role surfaced in the aggregate stats; guarded by
+	// admMu (SetRole at startup, Stats reads).
+	role  string
+	start time.Time
 }
 
 // New builds the shards and their coordinator. The enricher is shared:
@@ -139,6 +145,8 @@ func New(cfg Config, enricher stream.Enricher) (*Coordinator, error) {
 		limiter:         admission.NewLimiter(scfg.Admission.RatePerSec, scfg.Admission.Burst, scfg.Admission.MaxClients, nil),
 		rejectedBatches: make(map[string]int),
 		rejectedEvents:  make(map[string]int),
+		role:            stream.RoleStandalone,
+		start:           time.Now(),
 	}
 	for d := range c.stable {
 		c.stable[d] = make(map[string]int)
@@ -175,6 +183,39 @@ func New(cfg Config, enricher stream.Enricher) (*Coordinator, error) {
 }
 
 func shardDirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// NewReplicaSet wraps pre-built replica services in a read-only
+// coordinator serving the same merged views and stats as New — no
+// manifest (the on-disk layout is the primary's concern) and no shared
+// admission ledger (the services refuse writes themselves). The
+// follower (internal/replica) builds the services by replaying shipped
+// per-shard WALs and hands them over; it remains their owner and
+// closes them.
+func NewReplicaSet(scfg stream.Config, svcs []*stream.Service) (*Coordinator, error) {
+	if len(svcs) < 1 || len(svcs) > MaxShards {
+		return nil, fmt.Errorf("shard: replica set size %d outside [1, %d]", len(svcs), MaxShards)
+	}
+	c := &Coordinator{
+		cfg:             scfg,
+		shards:          append([]*stream.Service(nil), svcs...),
+		rejectedBatches: make(map[string]int),
+		rejectedEvents:  make(map[string]int),
+		role:            stream.RoleReplica,
+		start:           time.Now(),
+	}
+	for d := range c.stable {
+		c.stable[d] = make(map[string]int)
+	}
+	return c, nil
+}
+
+// SetRole overrides the role label in the aggregate stats; the daemon
+// marks a coordinator "primary" when it publishes its WALs.
+func (c *Coordinator) SetRole(role string) {
+	c.admMu.Lock()
+	c.role = role
+	c.admMu.Unlock()
+}
 
 // ensureManifest creates or verifies the deployment root. A root that
 // already holds service state — a manifest with a different shard

@@ -9,6 +9,7 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/bcluster"
 	"repro/internal/epm"
@@ -321,6 +322,12 @@ func (c *Coordinator) Stats() Stats {
 	// batch admissions and rate-limit rejections; the per-shard ledgers
 	// contribute shed/deadline/queue-full refusals, summed above.
 	c.admMu.Lock()
+	agg.Role = c.role
+	agg.UptimeMS = time.Since(c.start).Milliseconds()
+	agg.Replicated = 0
+	for _, st := range per {
+		agg.Replicated += st.Replicated
+	}
 	agg.Admission.AdmittedBatches = c.admittedBatches
 	agg.Admission.AdmittedEvents = c.admittedEvents
 	for k, v := range c.rejectedBatches {

@@ -157,6 +157,9 @@ func (s *Service) logRequest(req request) bool {
 // travels through the worker queue, so it observes a consistent batch
 // boundary: every previously queued request is applied first.
 func (s *Service) Checkpoint(ctx context.Context) error {
+	if s.replica {
+		return ErrReadOnly
+	}
 	if s.wal == nil {
 		return fmt.Errorf("stream: durability is not configured")
 	}

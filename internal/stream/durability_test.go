@@ -48,6 +48,9 @@ func dirtyCorpus(n int) []dataset.Event {
 func normStats(st stream.Stats) stream.Stats {
 	st.QueueCap, st.QueueDepth, st.MaxQueueDepth = 0, 0, 0
 	st.WAL = stream.WALStats{}
+	// Role, uptime, and the replicated-record count identify the
+	// process, not the landscape state.
+	st.Role, st.UptimeMS, st.Replicated = "", 0, 0
 	// The admission ledger is process-local runtime telemetry
 	// (recovery replays bypass admission), like queue depth above.
 	st.Admission = stream.AdmissionStats{}

@@ -212,6 +212,15 @@ type Service struct {
 	checkpoints      int
 	lastCkptSeq      uint64
 	recoveredRecords int
+
+	// Replication. replica is immutable after construction (NewReplica
+	// sets it before the service is shared), so the write-path guards
+	// read it without locks; role and the applied-record counter are
+	// guarded by mu.
+	replica    bool
+	role       string
+	start      time.Time
+	replicated int
 }
 
 // New starts a service. The enricher must resolve every sample the
@@ -258,6 +267,8 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 		shedder:          admission.NewShedder(cfg.Admission.ShedTarget, cfg.Admission.Seed),
 		rejectedBatches:  make(map[string]int),
 		rejectedEvents:   make(map[string]int),
+		role:             RoleStandalone,
+		start:            time.Now(),
 	}
 	for i, schema := range []epm.Schema{dataset.EpsilonSchema, dataset.PiSchema, dataset.MuSchema} {
 		if s.dims[i], err = newDimension(schema, cfg.Thresholds); err != nil {
@@ -297,6 +308,9 @@ func (s *Service) Ingest(ctx context.Context, events []dataset.Event) error {
 // *admission.Rejection carrying the reason and a retry-after hint; the
 // HTTP layer maps it to 429/503 with a Retry-After header.
 func (s *Service) IngestFrom(ctx context.Context, client string, events []dataset.Event) error {
+	if s.replica {
+		return ErrReadOnly
+	}
 	if len(events) == 0 {
 		return nil
 	}
@@ -313,6 +327,9 @@ func (s *Service) IngestFrom(ctx context.Context, client string, events []datase
 // returns the fail-closed *FatalError instead of acknowledging state it
 // cannot make durable.
 func (s *Service) Flush(ctx context.Context) error {
+	if s.replica {
+		return ErrReadOnly
+	}
 	if err := s.Fatal(); err != nil {
 		return err
 	}
@@ -1162,6 +1179,11 @@ type BStats struct {
 
 // Stats is the service-wide counter snapshot.
 type Stats struct {
+	// Role is the replication role: standalone, primary, or replica.
+	Role     string `json:"role"`
+	UptimeMS int64  `json:"uptime_ms"`
+	// Replicated counts WAL records a replica applied from its primary.
+	Replicated        int            `json:"replicated,omitempty"`
 	Events            int            `json:"events"`
 	Rejected          int            `json:"rejected"`
 	RejectedByReason  map[string]int `json:"rejected_by_reason,omitempty"`
@@ -1235,6 +1257,9 @@ func (s *Service) Stats() Stats {
 		fatal = err.Error()
 	}
 	return Stats{
+		Role:              s.role,
+		UptimeMS:          time.Since(s.start).Milliseconds(),
+		Replicated:        s.replicated,
 		Fatal:             fatal,
 		Admission:         s.admissionStats(),
 		Events:            s.events,

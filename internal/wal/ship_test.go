@@ -1,0 +1,262 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestSegmentsSnapshot(t *testing.T) {
+	opts := testOptions(t)
+	opts.SegmentBytes = 1 // one record per segment
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, l, fmt.Sprintf("rec-%d", i))
+	}
+	segs, err := l.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("%d segments, want 3", len(segs))
+	}
+	for i, s := range segs {
+		first := uint64(i + 1)
+		if s.FirstSeq != first || s.LastSeq != first {
+			t.Fatalf("segment %d range [%d,%d], want [%d,%d]", i, s.FirstSeq, s.LastSeq, first, first)
+		}
+		wantBytes := int64(headerSize + len(fmt.Sprintf("rec-%d", first)))
+		if s.Bytes != wantBytes {
+			t.Fatalf("segment %d bytes %d, want %d", i, s.Bytes, wantBytes)
+		}
+		if sealed := i < 2; s.Sealed != sealed {
+			t.Fatalf("segment %d sealed=%v, want %v", i, s.Sealed, sealed)
+		}
+	}
+}
+
+func TestSegmentReaderRoundTrip(t *testing.T) {
+	opts := testOptions(t)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, l, fmt.Sprintf("rec-%d", i))
+	}
+	sr, err := l.OpenSegment(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	// The reader's limit was snapshotted at open; a concurrent append
+	// must stay invisible rather than surface a possibly-torn frame.
+	mustAppend(t, l, "rec-6")
+	var got []uint64
+	for {
+		seq, payload, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("rec-%d", seq); string(payload) != want {
+			t.Fatalf("seq %d payload %q, want %q", seq, payload, want)
+		}
+		got = append(got, seq)
+	}
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("read seqs %v, want [3 4 5]", got)
+	}
+	if _, err := l.OpenSegment(99, 99); !errors.Is(err, ErrSegmentGone) {
+		t.Fatalf("OpenSegment(99) err = %v, want ErrSegmentGone", err)
+	}
+}
+
+// TestTruncateBeforeRacingReader pins the shipping-side GC contract: a
+// reader that raced TruncateBefore either completes its read against
+// the intact (possibly unlinked) file or fails cleanly with
+// ErrSegmentGone — it never surfaces a torn or corrupt frame as data.
+func TestTruncateBeforeRacingReader(t *testing.T) {
+	opts := testOptions(t)
+	opts.SegmentBytes = 1 // one record per segment
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const total = 40
+	for i := 1; i <= total; i++ {
+		mustAppend(t, l, fmt.Sprintf("rec-%02d", i))
+	}
+	start := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for first := uint64(1); first <= total; first++ {
+				sr, err := l.OpenSegment(first, 0)
+				if errors.Is(err, ErrSegmentGone) {
+					continue
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := first
+				for {
+					seq, payload, err := sr.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						errs <- fmt.Errorf("segment %d: %v", first, err)
+						sr.Close()
+						return
+					}
+					if seq != want || string(payload) != fmt.Sprintf("rec-%02d", seq) {
+						errs <- fmt.Errorf("segment %d: got seq %d payload %q", first, seq, payload)
+						sr.Close()
+						return
+					}
+					want++
+				}
+				sr.Close()
+			}
+		}()
+	}
+	close(start)
+	for cut := uint64(2); cut <= total; cut++ {
+		if err := l.TruncateBefore(cut); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestFrameReaderVerifies(t *testing.T) {
+	frame := func(seq uint64, payload string) []byte { return EncodeFrame(seq, []byte(payload)) }
+	read := func(stream []byte, expect uint64) (seqs []uint64, err error) {
+		fr := NewFrameReader(bytes.NewReader(stream), expect)
+		for {
+			seq, _, rerr := fr.Next()
+			if rerr == io.EOF {
+				return seqs, nil
+			}
+			if rerr != nil {
+				return seqs, rerr
+			}
+			seqs = append(seqs, seq)
+		}
+	}
+
+	clean := append(frame(5, "a"), frame(6, "bb")...)
+	if seqs, err := read(clean, 5); err != nil || len(seqs) != 2 || seqs[1] != 6 {
+		t.Fatalf("clean stream: seqs %v err %v", seqs, err)
+	}
+
+	var ce *CorruptError
+	flipped := append([]byte(nil), clean...)
+	flipped[headerSize] ^= 0xff
+	if _, err := read(flipped, 5); !errors.As(err, &ce) {
+		t.Fatalf("corrupt payload: err = %v, want CorruptError", err)
+	}
+
+	gap := append(frame(5, "a"), frame(9, "bb")...)
+	if _, err := read(gap, 5); !errors.As(err, &ce) {
+		t.Fatalf("seq gap: err = %v, want CorruptError", err)
+	}
+
+	if _, err := read(clean, 7); !errors.As(err, &ce) {
+		t.Fatalf("wrong first seq: err = %v, want CorruptError", err)
+	}
+
+	torn := clean[:len(clean)-1]
+	if _, err := read(torn, 5); !errors.As(err, &ce) {
+		t.Fatalf("torn tail: err = %v, want CorruptError", err)
+	}
+	// Truncation inside the second frame's header: the first record is
+	// delivered, the partial one is an error, never data.
+	if seqs, err := read(clean[:headerSize+1+len("a")+4], 5); !errors.As(err, &ce) || len(seqs) != 1 {
+		t.Fatalf("mid-header truncation: seqs %v err %v, want [5] + CorruptError", seqs, err)
+	}
+}
+
+func TestVerifyDir(t *testing.T) {
+	build := func(t *testing.T) Options {
+		opts := testOptions(t)
+		opts.SegmentBytes = 1
+		l, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 3; i++ {
+			mustAppend(t, l, fmt.Sprintf("rec-%d", i))
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return opts
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		opts := build(t)
+		segs, recs, err := VerifyDir(opts.Dir)
+		if err != nil || segs != 3 || recs != 3 {
+			t.Fatalf("VerifyDir = (%d, %d, %v), want (3, 3, nil)", segs, recs, err)
+		}
+	})
+
+	t.Run("corrupt sealed segment", func(t *testing.T) {
+		opts := build(t)
+		path := segmentFile(opts.Dir, 1)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[headerSize] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = VerifyDir(opts.Dir)
+		var ve *VerifyError
+		if !errors.As(err, &ve) || ve.Path != path || ve.Repairable {
+			t.Fatalf("VerifyDir err = %v, want non-repairable VerifyError at %s", err, path)
+		}
+	})
+
+	t.Run("torn newest tail is repairable", func(t *testing.T) {
+		opts := build(t)
+		path := segmentFile(opts.Dir, 3)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0, 0, 0, 42, 1}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		_, _, err = VerifyDir(opts.Dir)
+		var ve *VerifyError
+		if !errors.As(err, &ve) || ve.Path != path || !ve.Repairable {
+			t.Fatalf("VerifyDir err = %v, want repairable VerifyError at %s", err, path)
+		}
+	})
+}

@@ -141,11 +141,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
-	frame := make([]byte, headerSize+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(8+len(payload)))
-	binary.BigEndian.PutUint64(frame[8:16], seq)
-	copy(frame[16:], payload)
-	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	frame := EncodeFrame(seq, payload)
 	if _, err := l.active.Write(frame); err != nil {
 		l.broken = true
 		return 0, fmt.Errorf("wal: append: %w", err)
@@ -272,7 +268,11 @@ func (l *Log) syncDir() error {
 }
 
 func (l *Log) segmentPath(firstSeq uint64) string {
-	return filepath.Join(l.opts.Dir, fmt.Sprintf("%020d.wal", firstSeq))
+	return segmentFile(l.opts.Dir, firstSeq)
+}
+
+func segmentFile(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d.wal", firstSeq))
 }
 
 // listSegments returns the first-seqs of the directory's segments,
