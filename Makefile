@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload smoke-shard smoke-replica fuzz-smoke
+.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload smoke-shard smoke-replica smoke-poison fuzz-smoke
 
 # Label for bench-json measurement campaigns; override per campaign:
 #   make bench-json LABEL=post-pr9
@@ -23,11 +23,12 @@ race:
 bench:
 	go test -bench . -benchtime 1x ./...
 
-# Re-measure the B-clustering scalability trajectory (BENCH_bcluster.json)
-# and the streaming-service ingest throughput (BENCH_stream.json); entries
-# from other labels, e.g. the committed pre-PR baselines, are preserved.
+# Re-measure the B-clustering scalability trajectory (BENCH_bcluster.json),
+# the streaming-service ingest throughput (BENCH_stream.json), and the
+# adversarial poisoning validity sweep (BENCH_poison.json); entries from
+# other labels, e.g. the committed pre-PR baselines, are preserved.
 bench-json:
-	go run ./cmd/benchjson -label $(LABEL) -o BENCH_bcluster.json -stream-o BENCH_stream.json
+	go run ./cmd/benchjson -label $(LABEL) -o BENCH_bcluster.json -stream-o BENCH_stream.json -poison-o BENCH_poison.json
 
 # Superlinearity canary: replay the n=1k and n=10k stream corpora and
 # fail if ns/event grows more than 1.5x across the decade. Writes no
@@ -138,6 +139,16 @@ smoke-replica:
 	kill -TERM $$PRIM 2>/dev/null; wait $$PRIM 2>/dev/null; \
 	/tmp/landscaped-repl -wal-verify -wal-dir /tmp/landscaped-repl-wal || RC=1; \
 	rm -rf /tmp/landscaped-repl /tmp/landscaped-repl-wal /tmp/repl-*.json; exit $$RC
+
+# Poisoning smoke: sweep the small corpus through the seeded bridge and
+# dilution attack (internal/poison), asserting that the undefended
+# pipeline's B precision measurably degrades at 10% poison, that the
+# defended streaming run recovers at least half of the lost precision,
+# that quarantine stays queryable and fully drains on flush, and that
+# the per-client ledger pins suspicion on the attacker's client
+# identity. Mirrors the CI "Poison smoke" step.
+smoke-poison:
+	go test -count=1 -run 'TestSweepDefenseRecovery|TestDefendedServiceLedgerAndDrain' -v ./internal/poison/
 
 # Short coverage-guided fuzz of the ingest decode -> validate -> apply
 # path (FuzzIngestPipeline). The minimize budget is capped in execs so a

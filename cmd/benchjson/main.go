@@ -22,10 +22,15 @@
 // capacity. replicas=0 annotates the primary's write row with its own
 // read rate for the baseline.
 //
+// A third file (BENCH_poison.json, -poison-o) records the adversarial
+// poisoning sweep: B-clustering validity against ground truth at each
+// poison rate, undefended batch vs defended streaming, keyed
+// (label, n, poison_rate, defended) — see internal/poison.
+//
 // Usage:
 //
 //	benchjson [-o BENCH_bcluster.json] [-stream-o BENCH_stream.json] [-label current]
-//	          [-stream-shards 1,4] [-stream-replicas 0,2]
+//	          [-stream-shards 1,4] [-stream-replicas 0,2] [-poison-o BENCH_poison.json]
 //	benchjson -guard
 //
 // -guard is the CI superlinearity canary: it replays the n=1k and n=10k
@@ -128,8 +133,9 @@ type StreamEntry struct {
 const guardMaxRatio = 1.5
 
 func main() {
-	out := flag.String("o", "BENCH_bcluster.json", "output JSON path (merged in place)")
+	out := flag.String("o", "BENCH_bcluster.json", "output JSON path (merged in place; empty disables)")
 	streamOut := flag.String("stream-o", "BENCH_stream.json", "streaming-service throughput JSON path (merged in place; empty disables)")
+	poisonOut := flag.String("poison-o", "BENCH_poison.json", "poisoning validity sweep JSON path (merged in place; empty disables)")
 	label := flag.String("label", "current", "label for this measurement campaign")
 	streamShards := flag.String("stream-shards", "1,4", "comma-separated shard counts to measure the stream bench at")
 	streamReplicas := flag.String("stream-replicas", "0,2", "comma-separated read-replica counts for the read-fan-out bench (0 = the primary's own read rate; empty disables)")
@@ -147,9 +153,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: -label must not be empty (it keys the merged entries; an empty label would silently shadow a real campaign)")
 		os.Exit(1)
 	}
-	if err := run(*out, *label); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *out != "" {
+		if err := run(*out, *label); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	if *streamOut != "" {
 		shardCounts, err := parseShards(*streamShards)
@@ -163,6 +171,12 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runStream(*streamOut, *label, shardCounts, replicaCounts); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *poisonOut != "" {
+		if err := runPoison(*poisonOut, *label); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

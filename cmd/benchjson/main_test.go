@@ -71,3 +71,28 @@ func TestParseShards(t *testing.T) {
 		}
 	}
 }
+
+// TestUpsertPoisonReplacesSameKey is the same contract for the poison
+// file, keyed (label, n, poison_rate, defended).
+func TestUpsertPoisonReplacesSameKey(t *testing.T) {
+	entries := []PoisonEntry{
+		{Label: "post-pr9", N: 589, PoisonRate: 0.10, Defended: false, Precision: 0.868},
+		{Label: "post-pr9", N: 589, PoisonRate: 0.10, Defended: true, Precision: 0.964},
+	}
+	entries = upsertPoison(entries, PoisonEntry{Label: "post-pr9", N: 589, PoisonRate: 0.10, Defended: true, Precision: 0.97})
+	if len(entries) != 2 {
+		t.Fatalf("replacement appended: %d entries, want 2", len(entries))
+	}
+	if entries[1].Precision != 0.97 {
+		t.Fatalf("entry not replaced in place: %+v", entries[1])
+	}
+	// The defended flag and the rate are part of the key.
+	entries = upsertPoison(entries, PoisonEntry{Label: "post-pr9", N: 566, PoisonRate: 0.05, Defended: false})
+	entries = upsertPoison(entries, PoisonEntry{Label: "post-pr10", N: 589, PoisonRate: 0.10, Defended: true})
+	if len(entries) != 4 {
+		t.Fatalf("distinct keys must append: %d entries, want 4", len(entries))
+	}
+	if entries[0].Precision != 0.868 {
+		t.Fatalf("unrelated entry mutated: %+v", entries[0])
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+// The poisoning dimension of the benchmark file set: BENCH_poison.json
+// records how the behavioral clustering's validity degrades under the
+// seeded bridge/dilution attack and how much of it the streaming
+// defenses recover, one row per (label, n, poison_rate, defended). Rows
+// merge in place like the other BENCH files, so committed baselines
+// survive re-measurement.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/poison"
+)
+
+// PoisonEntry is one measured poisoning point.
+type PoisonEntry struct {
+	Label string `json:"label"`
+	// N is the sample count of the run; PoisonRate the attacker's share
+	// of event volume; Defended whether the streaming defenses were on
+	// (false = the undefended batch pipeline).
+	N          int     `json:"n"`
+	PoisonRate float64 `json:"poison_rate"`
+	Defended   bool    `json:"defended"`
+	// Events and PoisonSamples size the corpus and the attack.
+	Events        int `json:"events"`
+	PoisonSamples int `json:"poison_samples"`
+	// Clusters and the validity scores measure the damage.
+	Clusters  int     `json:"clusters"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F         float64 `json:"f"`
+	ARI       float64 `json:"ari"`
+	// Held, Parked, Released, and Drained are the defense counters of a
+	// defended run.
+	Held       int `json:"held,omitempty"`
+	Parked     int `json:"parked,omitempty"`
+	Released   int `json:"released,omitempty"`
+	Drained    int `json:"drained,omitempty"`
+	Gomaxprocs int `json:"gomaxprocs"`
+}
+
+// runPoison sweeps the SmallScenario at the standard rate schedule and
+// merges the resulting rows into path.
+func runPoison(path, label string) error {
+	entries, err := loadPoison(path)
+	if err != nil {
+		return err
+	}
+	reps, err := poison.Sweep(context.Background(), poison.Config{Scenario: core.SmallScenario()})
+	if err != nil {
+		return err
+	}
+	for _, r := range reps {
+		if r.Unaccounted != 0 {
+			return fmt.Errorf("benchjson: poison sweep dropped %d samples at rate=%g defended=%v", r.Unaccounted, r.Rate, r.Defended)
+		}
+		e := PoisonEntry{
+			Label:         label,
+			N:             r.Samples,
+			PoisonRate:    r.Rate,
+			Defended:      r.Defended,
+			Events:        r.Events,
+			PoisonSamples: r.PoisonSamples,
+			Clusters:      r.Clusters,
+			Precision:     r.Precision,
+			Recall:        r.Recall,
+			F:             r.F,
+			ARI:           r.AdjustedRand,
+			Held:          r.Held,
+			Parked:        r.Parked,
+			Released:      r.Released,
+			Drained:       r.Drained,
+			Gomaxprocs:    runtime.GOMAXPROCS(0),
+		}
+		entries = upsertPoison(entries, e)
+		fmt.Printf("%s/poison-%.2f/defended-%v\tn=%d events=%d poison=%d\tP=%.3f R=%.3f ARI=%.3f\theld=%d parked=%d released=%d drained=%d\n",
+			e.Label, e.PoisonRate, e.Defended, e.N, e.Events, e.PoisonSamples,
+			e.Precision, e.Recall, e.ARI, e.Held, e.Parked, e.Released, e.Drained)
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		x, y := entries[a], entries[b]
+		if x.PoisonRate != y.PoisonRate {
+			return x.PoisonRate < y.PoisonRate
+		}
+		if x.Defended != y.Defended {
+			return !x.Defended // undefended row first
+		}
+		if x.N != y.N {
+			return x.N < y.N
+		}
+		return x.Label < y.Label
+	})
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// upsertPoison merges one point in place, keyed
+// (label, n, poison_rate, defended).
+func upsertPoison(entries []PoisonEntry, e PoisonEntry) []PoisonEntry {
+	for i, old := range entries {
+		if old.Label == e.Label && old.N == e.N && old.PoisonRate == e.PoisonRate && old.Defended == e.Defended {
+			entries[i] = e
+			return entries
+		}
+	}
+	return append(entries, e)
+}
+
+func loadPoison(path string) ([]PoisonEntry, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []PoisonEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("parsing existing %s: %w", path, err)
+	}
+	return entries, nil
+}

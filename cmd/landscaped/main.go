@@ -126,6 +126,11 @@ type options struct {
 	degradeTarget     time.Duration
 	maxWaiters        int
 
+	defendMerge    int
+	defendTrust    float64
+	defendDisagree int
+	statsClients   bool
+
 	repl      bool
 	follow    string
 	replPoll  time.Duration
@@ -159,6 +164,10 @@ func main() {
 	flag.DurationVar(&o.shedTarget, "shed-target", 0, "smoothed queue-delay target; above it incoming batches are shed with 503s (0 = never shed)")
 	flag.DurationVar(&o.degradeTarget, "degrade-target", 0, "smoothed queue-delay threshold for degraded mode: epoch work deferred, queries marked degraded (0 = never degrade)")
 	flag.IntVar(&o.maxWaiters, "max-waiters", 0, "producers allowed to block on a full queue before fast 503s (0 = unlimited)")
+	flag.IntVar(&o.defendMerge, "defend-merge", 0, "merge resistance: quarantine samples whose links would join two B-clusters of at least this size (0 = off)")
+	flag.Float64Var(&o.defendTrust, "defend-trust", 0, "trust penalty: raise the B link threshold by this weight times the pair's client distrust (0 = off)")
+	flag.IntVar(&o.defendDisagree, "defend-disagree", 0, "disagreement quorum: park samples whose B links contradict their mu-group once this many group members are clustered (0 = off)")
+	flag.BoolVar(&o.statsClients, "stats-clients", false, "surface the per-client admission and provenance ledger in /v1/stats")
 	flag.BoolVar(&o.repl, "repl", false, "serve the log-shipping endpoints under /v1/repl/ so followers can replicate (requires -wal-dir)")
 	flag.StringVar(&o.follow, "follow", "", "run as a read replica of the primary landscaped at this base URL: bootstrap from its checkpoint, tail its WAL, refuse writes")
 	flag.DurationVar(&o.replPoll, "repl-poll", 500*time.Millisecond, "with -follow: how often the replica polls the primary for new records")
@@ -208,6 +217,12 @@ func run(o options) error {
 			MaxWaiters:    o.maxWaiters,
 			Seed:          o.seed,
 		},
+		Defense: stream.Defense{
+			MergeResistance: o.defendMerge,
+			TrustPenalty:    o.defendTrust,
+			DisagreeQuorum:  o.defendDisagree,
+		},
+		StatsClients: o.statsClients,
 	}
 	if o.walDir != "" {
 		cfg.Durability = stream.Durability{

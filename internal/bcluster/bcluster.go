@@ -39,6 +39,21 @@ type Config struct {
 	// defers to core.Scenario.Parallelism (and ultimately GOMAXPROCS).
 	// Clusters and Stats are byte-identical at every worker count.
 	Workers int
+
+	// Online poisoning defenses (see defense.go). All three default to
+	// zero = off; with every knob at zero the incremental clusterer runs
+	// the original, byte-identical code path. They apply to Incremental
+	// only — the batch Run is the undefended reference implementation.
+
+	// MergeResistance quarantines a sample whose links would join two
+	// established components of at least this size (0 = off).
+	MergeResistance int
+	// TrustPenalty scales how much a pair's worst Distrust raises its
+	// link threshold (0 = off).
+	TrustPenalty float64
+	// GroupQuorum parks a sample whose links contradict its static group
+	// once the group has at least this many integrated members (0 = off).
+	GroupQuorum int
 }
 
 // DefaultConfig mirrors the regime of the original system: a 0.7
@@ -58,6 +73,15 @@ func (c Config) Validate() error {
 	if c.Threshold <= 0 || c.Threshold > 1 {
 		return fmt.Errorf("bcluster: Threshold %v outside (0,1]", c.Threshold)
 	}
+	if c.MergeResistance < 0 {
+		return fmt.Errorf("bcluster: MergeResistance must be non-negative, got %d", c.MergeResistance)
+	}
+	if c.TrustPenalty < 0 || c.TrustPenalty > 1 {
+		return fmt.Errorf("bcluster: TrustPenalty %v outside [0,1]", c.TrustPenalty)
+	}
+	if c.GroupQuorum < 0 {
+		return fmt.Errorf("bcluster: GroupQuorum must be non-negative, got %d", c.GroupQuorum)
+	}
 	return nil
 }
 
@@ -67,6 +91,13 @@ type Input struct {
 	ID string
 	// Profile is the sample's behavioral profile.
 	Profile *behavior.Profile
+	// Group is the sample's static-perspective placement (the streaming
+	// service passes its μ instance). Only consulted by the anomaly-gate
+	// defense; empty opts out.
+	Group string
+	// Distrust is the provenance weight in [0,1] of the client that
+	// submitted the sample. Only consulted by the trust-penalty defense.
+	Distrust float64
 }
 
 // Cluster is one behavioral cluster.

@@ -42,6 +42,10 @@ type Incremental struct {
 	integrated int
 	epochs     int
 	merges     int
+
+	// def holds the poisoning-defense state; nil unless a defense knob
+	// is nonzero (see defense.go).
+	def *defenseState
 }
 
 // NewIncremental returns an empty incremental clusterer.
@@ -53,14 +57,21 @@ func NewIncremental(cfg Config) (*Incremental, error) {
 	for b := range buckets {
 		buckets[b] = make(map[uint64]*bucket)
 	}
-	return &Incremental{
+	inc := &Incremental{
 		cfg:     cfg,
 		rows:    cfg.NumHashes / cfg.Bands,
 		byID:    make(map[string]int),
 		buckets: buckets,
 		failed:  make(map[uint64]struct{}),
 		uf:      newUnionFind(0),
-	}, nil
+	}
+	if cfg.defenseEnabled() {
+		inc.def = &defenseState{
+			groupCount: make(map[string]int),
+			holds:      make(map[int][2]int),
+		}
+	}
+	return inc, nil
 }
 
 // Add parks one sample for the next verification epoch. The MinHash
@@ -138,6 +149,18 @@ func (inc *Incremental) Verify() {
 		return
 	}
 	inc.uf.grow(len(inc.inputs))
+	if inc.def != nil {
+		inc.growDefense()
+		for j := inc.integrated; j < len(inc.inputs); j++ {
+			inc.integrateDefended(j)
+		}
+		inc.integrated = len(inc.inputs)
+		if !inc.def.restoring {
+			inc.releaseCorroborated()
+		}
+		inc.epochs++
+		return
+	}
 	for j := inc.integrated; j < len(inc.inputs); j++ {
 		inc.integrate(j)
 	}

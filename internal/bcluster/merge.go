@@ -42,7 +42,10 @@ func Merge(parts []*Incremental) (*Result, error) {
 	total := 0
 	for _, p := range parts {
 		if p.cfg.NumHashes != cfg.NumHashes || p.cfg.Bands != cfg.Bands ||
-			p.cfg.Threshold != cfg.Threshold || p.cfg.Seed != cfg.Seed {
+			p.cfg.Threshold != cfg.Threshold || p.cfg.Seed != cfg.Seed ||
+			p.cfg.MergeResistance != cfg.MergeResistance ||
+			p.cfg.TrustPenalty != cfg.TrustPenalty ||
+			p.cfg.GroupQuorum != cfg.GroupQuorum {
 			return nil, fmt.Errorf("bcluster: merge with mismatched configs %+v vs %+v", p.cfg, cfg)
 		}
 		total += len(p.inputs)
@@ -89,6 +92,12 @@ func Merge(parts []*Incremental) (*Result, error) {
 		for pi, p := range parts {
 			off := offsets[pi]
 			for i := 0; i < p.integrated; i++ {
+				// Quarantined samples are outside link formation on
+				// their own shard; keep them out of cross-shard links
+				// too.
+				if p.excluded(i) {
+					continue
+				}
 				buckets.add(bandKey(p.sigs[i][band*rows:(band+1)*rows], uint64(band)), off+i)
 			}
 		}
@@ -120,7 +129,9 @@ func Merge(parts []*Incremental) (*Result, error) {
 						continue
 					}
 					stats.CandidatePairs++
-					if sets[i].Jaccard(sets[j]) >= cfg.Threshold {
+					// The effective threshold reduces to cfg.Threshold
+					// when the trust penalty is off.
+					if sets[i].Jaccard(sets[j]) >= cfg.effThreshold(inputs[i].Distrust, inputs[j].Distrust) {
 						stats.Links++
 						uf.union(i, j)
 					} else {

@@ -9,10 +9,19 @@ import (
 // IncrementalInput is one sample's persisted clustering input: the ID
 // and the (sorted) behavioral features its profile reduces to. Those
 // two fields determine the signature, the feature set, and therefore
-// the whole probe-and-link sequence.
+// the whole probe-and-link sequence. The defense fields (group,
+// distrust, status, hold pair) are populated only by defended
+// clusterers, so undefended snapshots serialize byte-identically to
+// snapshots taken before the defenses existed.
 type IncrementalInput struct {
 	ID       string   `json:"id"`
 	Features []string `json:"features"`
+	Group    string   `json:"group,omitempty"`
+	Distrust float64  `json:"distrust,omitempty"`
+	Status   Status   `json:"status,omitempty"`
+	// HoldPair is the attested component pair of a held sample, as two
+	// input indices; nil otherwise.
+	HoldPair []int `json:"hold_pair,omitempty"`
 }
 
 // IncrementalState is a serializable snapshot of an Incremental: the
@@ -34,18 +43,38 @@ func (inc *Incremental) State() IncrementalState {
 		Epochs:     inc.epochs,
 	}
 	for i, in := range inc.inputs {
-		st.Inputs[i] = IncrementalInput{ID: in.ID, Features: in.Profile.Features()}
+		st.Inputs[i] = IncrementalInput{
+			ID:       in.ID,
+			Features: in.Profile.Features(),
+			Group:    in.Group,
+			Distrust: in.Distrust,
+		}
+		if inc.def != nil && i < len(inc.def.status) {
+			st.Inputs[i].Status = inc.def.status[i]
+			if p, held := inc.def.holds[i]; held {
+				st.Inputs[i].HoldPair = []int{p[0], p[1]}
+			}
+		}
 	}
 	return st
 }
 
 // RestoreIncremental rebuilds a clusterer from a State snapshot. The
-// result is byte-identical to the snapshotted instance — partition,
-// buckets, failed-pair memo, and probe stats included — because
-// integration happens in strict arrival order regardless of how the
-// original run partitioned it into epochs: replaying the integrated
-// prefix as one verification epoch performs exactly the same probe
-// sequence.
+// membership partition is identical to the snapshotted instance.
+//
+// Undefended, the rebuild is byte-identical in full — partition,
+// buckets, failed-pair memo, and probe stats — because integration
+// happens in strict arrival order regardless of how the original run
+// partitioned it into epochs: replaying the integrated prefix as one
+// verification epoch performs exactly the same probe sequence.
+//
+// Defended, the recorded statuses are applied instead of re-evaluating
+// the hold/park rules (rule outcomes depend on epoch-relative timing the
+// snapshot does not keep): clustered samples re-link through the
+// symmetric trust-penalized predicate, whose closure is order-
+// independent, and quarantined samples are excluded exactly as
+// recorded. Probe statistics and cumulative defense counters are
+// path-dependent and therefore approximate after a defended restore.
 func RestoreIncremental(cfg Config, st IncrementalState) (*Incremental, error) {
 	inc, err := NewIncremental(cfg)
 	if err != nil {
@@ -59,7 +88,18 @@ func RestoreIncremental(cfg Config, st IncrementalState) (*Incremental, error) {
 		for _, f := range in.Features {
 			p.Add(f)
 		}
-		return inc.Add(Input{ID: in.ID, Profile: p})
+		return inc.Add(Input{ID: in.ID, Profile: p, Group: in.Group, Distrust: in.Distrust})
+	}
+	if inc.def != nil {
+		inc.def.restoring = true
+		inc.def.restoreStatus = make([]Status, st.Integrated)
+		inc.def.restoreHolds = make(map[int][2]int)
+		for i, in := range st.Inputs[:st.Integrated] {
+			inc.def.restoreStatus[i] = in.Status
+			if in.Status == StatusHeld && len(in.HoldPair) == 2 {
+				inc.def.restoreHolds[i] = [2]int{in.HoldPair[0], in.HoldPair[1]}
+			}
+		}
 	}
 	for _, in := range st.Inputs[:st.Integrated] {
 		if err := add(in); err != nil {
@@ -67,6 +107,11 @@ func RestoreIncremental(cfg Config, st IncrementalState) (*Incremental, error) {
 		}
 	}
 	inc.Verify()
+	if inc.def != nil {
+		inc.def.restoring = false
+		inc.def.restoreStatus = nil
+		inc.def.restoreHolds = nil
+	}
 	for _, in := range st.Inputs[st.Integrated:] {
 		if err := add(in); err != nil {
 			return nil, fmt.Errorf("bcluster: restore: %w", err)

@@ -1,0 +1,76 @@
+package malgen_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/malgen"
+	"repro/internal/sgnet"
+	"repro/internal/simrng"
+)
+
+// eventStream generates the landscape (attacker families included) and
+// simulates the deployment exactly as core.Prepare seeds them, returning
+// the serialized event stream.
+func eventStream(t *testing.T, cfg malgen.Config) []byte {
+	t.Helper()
+	rng := simrng.New(2010)
+	l, err := malgen.Generate(cfg, rng.Child("landscape"))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sim, err := sgnet.Simulate(l, sgnet.DefaultConfig(), rng.Child("sgnet"))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	b, err := json.Marshal(sim.Dataset.Events())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	return b
+}
+
+// TestEventStreamDeterminism is the poison-benchmark reproducibility
+// gate: the same seed and config must yield a byte-identical event
+// stream across repeated runs and across GOMAXPROCS values, with
+// attacker families enabled.
+func TestEventStreamDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated small-scenario simulations")
+	}
+	cfg := malgen.SmallConfig()
+	cfg.Poison.Rate = 0.1
+	cfg.Poison.Campaigns = 1
+
+	base := eventStream(t, cfg)
+	if !bytes.Contains(base, []byte(`"poison00-bridge`)) {
+		t.Fatal("poisoned stream contains no bridge events")
+	}
+	if !bytes.Contains(base, []byte(`"poison00-dilute`)) {
+		t.Fatal("poisoned stream contains no dilution events")
+	}
+	if got := eventStream(t, cfg); !bytes.Equal(base, got) {
+		t.Fatal("event stream differs between identical runs")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2} {
+		runtime.GOMAXPROCS(procs)
+		if got := eventStream(t, cfg); !bytes.Equal(base, got) {
+			t.Fatalf("event stream differs at GOMAXPROCS=%d", procs)
+		}
+	}
+
+	// The rate-zero stream must match a config that never had the knob.
+	clean := eventStream(t, malgen.SmallConfig())
+	cfgZero := malgen.SmallConfig()
+	cfgZero.Poison = malgen.PoisonConfig{}
+	if got := eventStream(t, cfgZero); !bytes.Equal(clean, got) {
+		t.Fatal("rate-zero stream differs from pre-knob stream")
+	}
+	if bytes.Contains(clean, []byte("poison")) {
+		t.Fatal("rate-zero stream contains poison events")
+	}
+}

@@ -58,6 +58,9 @@ const (
 	ClassDropper
 	// ClassRare is an infrequent family observed a handful of times.
 	ClassRare
+	// ClassPoison is an adversarial family crafted to corrupt behavioral
+	// clustering (bridging and dilution attacks, Biggio/Rieck-style).
+	ClassPoison
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +74,8 @@ func (c Class) String() string {
 		return "dropper"
 	case ClassRare:
 		return "rare"
+	case ClassPoison:
+		return "poison"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -186,6 +191,31 @@ type Config struct {
 	DropperFamilies int
 	// RareFamilies is the size of the long tail.
 	RareFamilies int
+	// Poison configures the adversarial attacker families. The zero value
+	// disables poisoning entirely: no attacker families are generated and
+	// no randomness is consumed, so a Rate-zero landscape is byte-identical
+	// to one generated before this knob existed.
+	Poison PoisonConfig
+}
+
+// PoisonConfig scales the adversarial attacker families (see poison.go).
+type PoisonConfig struct {
+	// Rate is the fraction of total expected event volume contributed by
+	// attacker families (0 disables, must stay < 0.5).
+	Rate float64
+	// Campaigns is the number of independent attacker campaigns, each
+	// with its own victim pair, bridge chain, dilution family, and client
+	// identity. Zero means 1 when Rate > 0.
+	Campaigns int
+}
+
+func (p PoisonConfig) enabled() bool { return p.Rate > 0 }
+
+func (p PoisonConfig) campaigns() int {
+	if p.Campaigns <= 0 {
+		return 1
+	}
+	return p.Campaigns
 }
 
 // DefaultConfig targets the scale of the paper's 17-month dataset.
@@ -242,6 +272,15 @@ func (c Config) Validate() error {
 	}
 	if c.BotFamilies > 0 && c.BotMaxVariants < 1 {
 		return fmt.Errorf("malgen: BotMaxVariants must be >= 1")
+	}
+	if c.Poison.Rate < 0 || c.Poison.Rate >= 0.5 {
+		return fmt.Errorf("malgen: Poison.Rate must be in [0, 0.5), got %g", c.Poison.Rate)
+	}
+	if c.Poison.Campaigns < 0 {
+		return fmt.Errorf("malgen: Poison.Campaigns must be non-negative")
+	}
+	if c.Poison.enabled() && c.BotFamilies < 3 {
+		return fmt.Errorf("malgen: poisoning needs BotFamilies >= 3 (victim pairs avoid bot00), got %d", c.BotFamilies)
 	}
 	return nil
 }
@@ -326,6 +365,9 @@ func Generate(cfg Config, rng *simrng.Source) (*Landscape, error) {
 		return nil, err
 	}
 	if err := g.rareFamilies(); err != nil {
+		return nil, err
+	}
+	if err := g.poisonFamilies(); err != nil {
 		return nil, err
 	}
 	for _, f := range g.l.Families {

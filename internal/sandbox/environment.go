@@ -131,6 +131,33 @@ func (e *Environment) AddIRC(server netmodel.IP, port int, room string, commands
 	e.endpoints[endpointKey(server.String(), port)] = append(e.endpoints[endpointKey(server.String(), port)], windows...)
 }
 
+// ExtendIRC adds availability windows to an already-registered IRC room
+// without replacing its command program or existing windows. It reports
+// whether the room was found. Poisoning campaigns use this to keep a
+// victim's C&C observable while attacker samples execute, without
+// perturbing the victim's own availability schedule.
+func (e *Environment) ExtendIRC(server netmodel.IP, port int, room string, windows ...simtime.Interval) bool {
+	rm, ok := e.irc[ircKey(server.String(), port, room)]
+	if !ok {
+		return false
+	}
+	rm.windows = append(rm.windows, windows...)
+	key := endpointKey(server.String(), port)
+	e.endpoints[key] = append(e.endpoints[key], windows...)
+	return true
+}
+
+// ExtendHTTP adds availability windows to an already-registered
+// malware-distribution path, reporting whether the path was found.
+func (e *Environment) ExtendHTTP(host, path string, windows ...simtime.Interval) bool {
+	p, ok := e.http[httpKey(host, path)]
+	if !ok {
+		return false
+	}
+	p.windows = append(p.windows, windows...)
+	return true
+}
+
 // IRCCommands returns the command program a bot joining the room would
 // receive at the instant.
 func (e *Environment) IRCCommands(server string, port int, room string, at time.Time) (*behavior.Program, bool) {

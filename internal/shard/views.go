@@ -260,6 +260,7 @@ func (c *Coordinator) Stats() Stats {
 	out := Stats{Shards: len(c.shards), PerShard: make([]ShardStats, len(c.shards))}
 	agg := &out.Aggregate
 	agg.RejectedByReason = map[string]int{}
+	var clientParts [][]stream.ClientStat
 	for i, st := range per {
 		out.PerShard[i] = ShardStats{
 			Shard:         i,
@@ -313,7 +314,24 @@ func (c *Coordinator) Stats() Stats {
 		agg.B.Pending += st.B.Pending
 		agg.B.Epochs += st.B.Epochs
 		agg.Admission = sumAdmission(agg.Admission, st.Admission)
+		// Defense counters sum across shards: each shard's clusterer
+		// quarantines independently over its own sample subset.
+		if st.Defense != nil {
+			if agg.Defense == nil {
+				agg.Defense = &bcluster.DefenseStats{}
+			}
+			agg.Defense.Held += st.Defense.Held
+			agg.Defense.Parked += st.Defense.Parked
+			agg.Defense.HeldTotal += st.Defense.HeldTotal
+			agg.Defense.ParkedTotal += st.Defense.ParkedTotal
+			agg.Defense.Released += st.Defense.Released
+			agg.Defense.Drained += st.Defense.Drained
+		}
+		if len(st.Clients) > 0 {
+			clientParts = append(clientParts, st.Clients)
+		}
 	}
+	agg.Clients = stream.MergeClientStats(clientParts...)
 	if len(agg.RejectedByReason) == 0 {
 		agg.RejectedByReason = nil
 	}

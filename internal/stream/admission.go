@@ -49,7 +49,7 @@ func (s *Service) admitBatch(client string, n int) error {
 	}
 	if client != "" {
 		if rej := s.limiter.Admit(client, n); rej != nil {
-			s.noteRejected(string(rej.Reason), n)
+			s.noteRejected(client, string(rej.Reason), n)
 			return rej
 		}
 	}
@@ -58,7 +58,7 @@ func (s *Service) admitBatch(client string, n int) error {
 			Reason:     admission.ReasonShed,
 			RetryAfter: admission.RetryAfterHint(s.qDelay.Load()),
 		}
-		s.noteRejected(string(rej.Reason), n)
+		s.noteRejected(client, string(rej.Reason), n)
 		s.noteShedProbability(p)
 		return rej
 	}
@@ -75,10 +75,13 @@ func (s *Service) noteAdmitted(n int) {
 	s.admMu.Unlock()
 }
 
-func (s *Service) noteRejected(reason string, n int) {
+func (s *Service) noteRejected(client, reason string, n int) {
 	s.admMu.Lock()
 	s.rejectedBatches[reason]++
 	s.rejectedEvents[reason] += n
+	if client != "" {
+		s.rejectedByClient[client]++
+	}
 	s.admMu.Unlock()
 }
 

@@ -1,0 +1,119 @@
+package stream_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+// TestStatsClientsLedger pins the -stats-clients surface on its own:
+// with no defense knob set, the service stays undefended (no defense
+// stats, no B statuses) but the per-client ledger attributes applied
+// events and first-seen samples to their ingest identity, loopback
+// included, with zero distrust everywhere.
+func TestStatsClientsLedger(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.StatsClients = true
+	svc := newTestService(t, cfg)
+	ctx := context.Background()
+
+	batch := func(lo, hi int, variant string) []dataset.Event {
+		var evs []dataset.Event
+		for i := lo; i < hi; i++ {
+			evs = append(evs, testEvent(i, variant))
+		}
+		return evs
+	}
+	if err := svc.IngestFrom(ctx, "alice", batch(0, 6, "va")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.IngestFrom(ctx, "bob", batch(6, 10, "vb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Ingest(ctx, batch(10, 13, "vc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := svc.Stats()
+	if st.Defense != nil {
+		t.Fatalf("StatsClients alone must not enable defenses: %+v", st.Defense)
+	}
+	if len(st.Clients) != 3 {
+		t.Fatalf("Clients = %+v, want loopback + alice + bob", st.Clients)
+	}
+	wantEvents := map[string]int{"": 3, "alice": 6, "bob": 4}
+	for _, cs := range st.Clients {
+		if cs.Events != wantEvents[cs.Client] {
+			t.Errorf("client %q: %d events, want %d", cs.Client, cs.Events, wantEvents[cs.Client])
+		}
+		if cs.Samples == 0 {
+			t.Errorf("client %q attributed no samples", cs.Client)
+		}
+		if cs.Distrust != 0 || cs.Suspicion != 0 || cs.Held != 0 || cs.Parked != 0 {
+			t.Errorf("client %q accrued defense state without defenses: %+v", cs.Client, cs)
+		}
+	}
+
+	// Sample views carry the attribution; no B status without defenses.
+	v, ok := svc.Sample("md5-va-0")
+	if !ok {
+		t.Fatal("alice's sample not queryable")
+	}
+	if v.Client != "alice" {
+		t.Errorf("sample client = %q, want alice", v.Client)
+	}
+	if v.BStatus != "" {
+		t.Errorf("undefended sample has B status %q", v.BStatus)
+	}
+}
+
+// TestClientLedgerSurvivesRecovery pins the durability of provenance:
+// WAL records carry the ingest client, so a crash-recovered service
+// rebuilds exactly the ledger the original accumulated.
+func TestClientLedgerSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(4)
+	cfg.StatsClients = true
+	cfg.Durability = stream.Durability{Dir: dir, CheckpointEvery: 3, NoSync: true}
+	ctx := context.Background()
+
+	svc, err := stream.New(cfg, fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []dataset.Event
+	for i := 0; i < 8; i++ {
+		evs = append(evs, testEvent(i, "va"))
+	}
+	if err := svc.IngestFrom(ctx, "alice", evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := svc.Stats().Clients
+	svc.Close()
+	if len(want) == 0 {
+		t.Fatal("no client ledger before the crash")
+	}
+
+	recovered, err := stream.New(cfg, fakeEnricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	got := recovered.Stats().Clients
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered ledger %+v != original %+v", got, want)
+	}
+	v, ok := recovered.Sample("md5-va-0")
+	if !ok || v.Client != "alice" {
+		t.Fatalf("recovered sample attribution = %+v, %v", v, ok)
+	}
+}

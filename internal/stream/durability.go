@@ -53,6 +53,9 @@ const (
 type walRecord struct {
 	Kind   string          `json:"kind"`
 	Events []dataset.Event `json:"events,omitempty"`
+	// Client is the ingest identity the batch arrived under, so replay
+	// and replication rebuild the same provenance attribution.
+	Client string `json:"client,omitempty"`
 }
 
 // checkpointFile is the atomic on-disk snapshot. Everything not listed
@@ -71,6 +74,11 @@ type checkpointFile struct {
 	B           bcluster.IncrementalState `json:"b"`
 	Retry       []retryEntryState         `json:"retry,omitempty"`
 	Quarantined map[string]string         `json:"quarantined,omitempty"`
+	// Provenance ledger (defense.go); empty — and absent from the
+	// serialization — unless client tracking is on.
+	Clients       map[string]*clientLedger `json:"clients,omitempty"`
+	SampleClients map[string]string        `json:"sample_clients,omitempty"`
+	SampleGroups  map[string]string        `json:"sample_groups,omitempty"`
 }
 
 // sampleEnrichment persists the per-sample state the events cannot
@@ -126,10 +134,11 @@ func (s *Service) logRequest(req request) bool {
 		s.mu.Unlock()
 		return true
 	}
-	rec := walRecord{Kind: walKindBatch, Events: req.events}
+	rec := walRecord{Kind: walKindBatch, Events: req.events, Client: req.client}
 	if req.flush {
 		rec.Kind = walKindFlush
 		rec.Events = nil
+		rec.Client = ""
 	}
 	payload, err := json.Marshal(rec)
 	var seq uint64
@@ -256,6 +265,15 @@ func (s *Service) buildCheckpoint() *checkpointFile {
 		B:           s.b.State(),
 		Quarantined: s.quarantined,
 	}
+	if len(s.clients) > 0 {
+		cp.Clients = s.clients
+	}
+	if len(s.sampleClient) > 0 {
+		cp.SampleClients = s.sampleClient
+	}
+	if len(s.sampleGroup) > 0 {
+		cp.SampleGroups = s.sampleGroup
+	}
 	for _, smp := range s.ds.Samples() {
 		if smp.AVLabel == "" && len(smp.AVLabels) == 0 && smp.Profile == nil {
 			continue
@@ -311,7 +329,7 @@ func (s *Service) recover() error {
 		case walKindFlush:
 			s.applyFlush()
 		case walKindBatch:
-			s.applyBatch(rec.Events, 0)
+			s.applyBatch(rec.Client, rec.Events, 0)
 		default:
 			return fmt.Errorf("stream: wal record %d has unknown kind %q", seq, rec.Kind)
 		}
@@ -379,6 +397,16 @@ func (s *Service) restoreCheckpoint(cp *checkpointFile) error {
 	}
 	for _, e := range cp.Retry {
 		s.retry.add(&retryEntry{md5: e.MD5, stage: e.Stage, attempts: e.Attempts, nextSeq: e.NextSeq, lastErr: e.LastErr})
+	}
+	for name, l := range cp.Clients {
+		cl := *l
+		s.clients[name] = &cl
+	}
+	for md5, c := range cp.SampleClients {
+		s.sampleClient[md5] = c
+	}
+	for md5, g := range cp.SampleGroups {
+		s.sampleGroup[md5] = g
 	}
 	s.applySeq = cp.Seq
 	return nil

@@ -111,7 +111,7 @@ func (s *Service) ApplyReplicated(seq uint64, payload []byte) error {
 	if rec.Kind == walKindFlush {
 		s.applyFlush()
 	} else {
-		s.applyBatch(rec.Events, 0)
+		s.applyBatch(rec.Client, rec.Events, 0)
 	}
 	s.mu.Lock()
 	s.replicated++

@@ -83,6 +83,15 @@ type Config struct {
 	// degraded mode. The zero value disables all of it — Ingest then
 	// blocks on a full queue exactly as before.
 	Admission admission.Config
+	// Defense configures the online poisoning defenses (see defense.go);
+	// the knobs are forwarded into BCluster at construction. The zero
+	// value keeps the clustering byte-identical to the undefended
+	// pipeline.
+	Defense Defense
+	// StatsClients surfaces the per-client admission and provenance
+	// ledger in Stats.Clients. The ledger is maintained whenever a
+	// defense is on; this knob only controls the reporting surface.
+	StatsClients bool
 }
 
 // DefaultConfig mirrors the batch pipeline's analysis parameters with a
@@ -125,6 +134,9 @@ var ErrClosed = errors.New("stream: service closed")
 // request is one unit of ingest-worker work.
 type request struct {
 	events []dataset.Event
+	// client is the ingest identity the batch arrived under; "" is the
+	// trusted loopback.
+	client string
 	flush  bool
 	ckpt   bool
 	errc   chan error
@@ -184,6 +196,13 @@ type Service struct {
 	retryAttempts  int
 	retrySuccesses int
 
+	// Provenance (defense.go). clients and the sample-attribution maps
+	// are guarded by mu and populated only when trackClients() — with
+	// every knob off they stay empty and the checkpoint byte-identical.
+	clients      map[string]*clientLedger
+	sampleClient map[string]string
+	sampleGroup  map[string]string
+
 	// Overload protection. The limiter and shedder are nil when their
 	// knobs are off; qDelay and waiters are lock-free so admission
 	// decisions never serialize behind the apply worker; the ledger
@@ -195,12 +214,13 @@ type Service struct {
 	waiters  atomic.Int64
 	fatalErr atomic.Pointer[FatalError]
 
-	admMu           sync.Mutex
-	admittedBatches int
-	admittedEvents  int
-	rejectedBatches map[string]int
-	rejectedEvents  map[string]int
-	shedProb        float64
+	admMu            sync.Mutex
+	admittedBatches  int
+	admittedEvents   int
+	rejectedBatches  map[string]int
+	rejectedEvents   map[string]int
+	rejectedByClient map[string]int
+	shedProb         float64
 
 	degradedMode    bool
 	degradedEntered int
@@ -227,6 +247,13 @@ type Service struct {
 // ingested events reference; events whose samples it rejects are
 // counted, kept in the event dataset, and excluded from B-clustering.
 func New(cfg Config, enricher Enricher) (*Service, error) {
+	// The defense knobs live on Config.Defense; the clusterer enforces
+	// them, so they are forwarded into its config before validation.
+	if cfg.Defense.Enabled() {
+		cfg.BCluster.MergeResistance = cfg.Defense.MergeResistance
+		cfg.BCluster.TrustPenalty = cfg.Defense.TrustPenalty
+		cfg.BCluster.GroupQuorum = cfg.Defense.DisagreeQuorum
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -267,6 +294,10 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 		shedder:          admission.NewShedder(cfg.Admission.ShedTarget, cfg.Admission.Seed),
 		rejectedBatches:  make(map[string]int),
 		rejectedEvents:   make(map[string]int),
+		rejectedByClient: make(map[string]int),
+		clients:          make(map[string]*clientLedger),
+		sampleClient:     make(map[string]string),
+		sampleGroup:      make(map[string]string),
 		role:             RoleStandalone,
 		start:            time.Now(),
 	}
@@ -317,7 +348,7 @@ func (s *Service) IngestFrom(ctx context.Context, client string, events []datase
 	if err := s.admitBatch(client, len(events)); err != nil {
 		return err
 	}
-	return s.send(ctx, request{events: append([]dataset.Event(nil), events...)})
+	return s.send(ctx, request{events: append([]dataset.Event(nil), events...), client: client})
 }
 
 // Flush forces an epoch everywhere: it waits for every previously queued
@@ -380,7 +411,7 @@ func (s *Service) send(ctx context.Context, req request) error {
 				RetryAfter: admission.RetryAfterHint(s.qDelay.Load()),
 			}
 			if req.events != nil {
-				s.noteRejected(string(rej.Reason), len(req.events))
+				s.noteRejected(req.client, string(rej.Reason), len(req.events))
 			}
 			return rej
 		}
@@ -407,7 +438,7 @@ func (s *Service) send(ctx context.Context, req request) error {
 			RetryAfter: admission.RetryAfterHint(s.qDelay.Load()),
 		}
 		if req.events != nil {
-			s.noteRejected(string(rej.Reason), len(req.events))
+			s.noteRejected(req.client, string(rej.Reason), len(req.events))
 		}
 		return rej
 	case <-ctx.Done():
@@ -457,7 +488,7 @@ func (s *Service) worker() {
 			if req.flush {
 				s.applyFlush()
 			} else {
-				s.applyBatch(req.events, depth)
+				s.applyBatch(req.client, req.events, depth)
 			}
 			if every := s.cfg.Durability.CheckpointEvery; s.wal != nil && every > 0 {
 				s.sinceCkpt++
@@ -482,7 +513,7 @@ func (s *Service) worker() {
 // projected under the write lock, sandbox executions run outside it
 // (they are the slow part and mutate nothing the queries read), then
 // profiles, B additions, and epoch triggers land under the lock again.
-func (s *Service) applyBatch(events []dataset.Event, depth int) {
+func (s *Service) applyBatch(client string, events []dataset.Event, depth int) {
 	s.mu.Lock()
 	if depth > s.maxQueue {
 		s.maxQueue = depth
@@ -512,6 +543,9 @@ func (s *Service) applyBatch(events []dataset.Event, depth int) {
 			continue
 		}
 		s.events++
+		if s.trackClients() {
+			s.ledger(client).Events++
+		}
 		if err := s.dims[0].add(e.EpsilonInstance()); err != nil {
 			s.recordError(err.Error())
 		}
@@ -528,6 +562,9 @@ func (s *Service) applyBatch(events []dataset.Event, depth int) {
 			continue
 		}
 		smp := s.ds.Sample(e.Sample.MD5)
+		if prev == nil {
+			s.noteSampleOrigin(client, e)
+		}
 		if prev == nil && !seen[smp.MD5] {
 			if err := s.enricher.LabelSample(smp); err != nil {
 				s.noteEnrichFailure(smp.MD5, retryLabel, err)
@@ -605,7 +642,7 @@ func (s *Service) applyExecResults(samples []*dataset.Sample, outs []outcome) {
 			}
 			continue
 		}
-		if err := s.b.Add(bcluster.Input{ID: smp.MD5, Profile: outs[i].profile}); err != nil {
+		if err := s.b.Add(s.defenseInput(bcluster.Input{ID: smp.MD5, Profile: outs[i].profile})); err != nil {
 			s.enrichErrors++
 			s.recordError(err.Error())
 			continue
@@ -773,12 +810,16 @@ func (s *Service) epochCheck() {
 	}
 	if s.b.Pending() >= s.cfg.EpochSize {
 		s.b.Verify()
+		s.harvestDefense()
 	}
 }
 
 // applyFlush retries every pooled sample to completion (success or
 // quarantine), then forces the final epochs: a flushed service has
-// nothing in flight.
+// nothing in flight. Under defenses that includes quarantine — held and
+// parked samples are drained into permanent singletons, so a flushed
+// defended service reaches a stable state with every sample queryable
+// and none silently dropped.
 func (s *Service) applyFlush() {
 	s.drainAllRetries()
 	s.mu.Lock()
@@ -789,6 +830,10 @@ func (s *Service) applyFlush() {
 		}
 	}
 	s.b.Verify()
+	s.harvestDefense()
+	if s.defended() {
+		s.b.DrainHeld()
+	}
 	s.flushes++
 	s.version++
 }
@@ -1109,6 +1154,12 @@ type SampleView struct {
 	ProfileFeatures int       `json:"profile_features"`
 	// BPending reports the sample is parked awaiting verification.
 	BPending bool `json:"b_pending"`
+	// BStatus is the defense disposition (clustered, held, parked,
+	// drained); empty when the defenses are off.
+	BStatus string `json:"b_status,omitempty"`
+	// Client is the ingest identity that first delivered the sample;
+	// populated when the provenance ledger is maintained.
+	Client string `json:"client,omitempty"`
 	// BRepresentative and BSize describe the sample's current B-cluster.
 	BRepresentative string `json:"b_representative,omitempty"`
 	BSize           int    `json:"b_size"`
@@ -1139,6 +1190,14 @@ func (s *Service) Sample(md5 string) (SampleView, bool) {
 			v.BSize = res.Clusters[i].Size()
 		}
 		v.BPending = s.b.Pending() > 0 && v.BSize == 1
+		if s.defended() {
+			if st, ok := s.b.SampleStatus(md5); ok {
+				v.BStatus = st.String()
+			}
+		}
+	}
+	if c, ok := s.sampleClient[md5]; ok && c != "" {
+		v.Client = c
 	}
 	mSet := map[int]bool{}
 	for _, e := range s.ds.EventsOfSample(md5) {
@@ -1209,6 +1268,13 @@ type Stats struct {
 	Pi        DimStats       `json:"pi"`
 	Mu        DimStats       `json:"mu"`
 	B         BStats         `json:"b"`
+	// Defense carries the poisoning-defense counters (held and parked
+	// samples, quarantined merges, releases, drains); nil when the
+	// defenses are off.
+	Defense *bcluster.DefenseStats `json:"defense,omitempty"`
+	// Clients is the per-client admission and provenance ledger,
+	// populated when Config.StatsClients is on.
+	Clients []ClientStat `json:"clients,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -1256,7 +1322,14 @@ func (s *Service) Stats() Stats {
 	if err := s.Fatal(); err != nil {
 		fatal = err.Error()
 	}
+	var defense *bcluster.DefenseStats
+	if s.defended() {
+		d := s.b.DefenseStats()
+		defense = &d
+	}
 	return Stats{
+		Defense: defense,
+		Clients: s.clientStats(),
 		Role:              s.role,
 		UptimeMS:          time.Since(s.start).Milliseconds(),
 		Replicated:        s.replicated,

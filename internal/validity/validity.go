@@ -13,13 +13,34 @@
 package validity
 
 import (
+	"errors"
 	"fmt"
+)
+
+// Degenerate-input errors. Compare wraps them, so callers branch with
+// errors.Is instead of string matching.
+var (
+	// ErrEmptyTruth rejects a nil or empty reference labeling: there is
+	// nothing to score against.
+	ErrEmptyTruth = errors.New("validity: empty truth")
+	// ErrNoItems rejects a clustering with no members at all (nil, empty,
+	// or made entirely of empty cluster slices): every metric would be
+	// 0/0.
+	ErrNoItems = errors.New("validity: no items to score")
 )
 
 // Report scores one clustering against a reference partition.
 type Report struct {
 	// Items is the number of scored items (present in both partitions).
 	Items int
+	// TruthOnly counts reference items no cluster contains. They are
+	// excluded from every metric — the clustering is scored on what it
+	// clustered, not penalized for samples the pipeline never saw (e.g.
+	// non-executable samples that have ground truth but no behavior).
+	TruthOnly int
+	// EmptyClusters counts zero-member cluster slices in the input; they
+	// are excluded from Clusters and from the precision average.
+	EmptyClusters int
 	// Clusters and References are the partition sizes.
 	Clusters   int
 	References int
@@ -43,10 +64,14 @@ func (r Report) String() string {
 
 // Compare scores clusters (lists of item IDs) against truth (item ID →
 // reference label). Items without a truth label are an error: the caller
-// chooses what to score.
+// chooses what to score. The reverse is not — truth entries no cluster
+// covers are excluded and counted in Report.TruthOnly, and empty cluster
+// slices are excluded and counted in Report.EmptyClusters. An empty
+// truth map or a clustering with no members at all is a degenerate input
+// and returns ErrEmptyTruth or ErrNoItems.
 func Compare(clusters [][]string, truth map[string]string) (Report, error) {
 	if len(truth) == 0 {
-		return Report{}, fmt.Errorf("validity: empty truth")
+		return Report{}, ErrEmptyTruth
 	}
 	seen := make(map[string]bool)
 	// Contingency counts: cluster index × reference label.
@@ -70,10 +95,15 @@ func Compare(clusters [][]string, truth map[string]string) (Report, error) {
 		}
 	}
 	if n == 0 {
-		return Report{}, fmt.Errorf("validity: no items to score")
+		return Report{}, ErrNoItems
 	}
 
-	rep := Report{Items: n, Clusters: 0, References: len(refTotals)}
+	rep := Report{Items: n, TruthOnly: len(truth) - n, Clusters: 0, References: len(refTotals)}
+	for _, members := range clusters {
+		if len(members) == 0 {
+			rep.EmptyClusters++
+		}
+	}
 
 	// Precision: per cluster, the dominant reference share.
 	var precSum float64

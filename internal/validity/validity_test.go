@@ -1,6 +1,7 @@
 package validity
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -164,5 +165,80 @@ func TestReportString(t *testing.T) {
 	s := rep.String()
 	if s == "" || len(s) < 20 {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestCompareDegenerateInputs pins the contract for malformed and
+// partial inputs: typed errors for inputs with nothing to score, counted
+// exclusions for empty cluster slices and truth-only samples, and hard
+// errors for unlabeled or duplicated items.
+func TestCompareDegenerateInputs(t *testing.T) {
+	truth := map[string]string{"a1": "A", "a2": "A", "b1": "B"}
+	cases := []struct {
+		name     string
+		clusters [][]string
+		truth    map[string]string
+		wantErr  error // sentinel matched with errors.Is; nil = success
+		anyErr   bool  // expect some error, no sentinel defined
+		check    func(t *testing.T, rep Report)
+	}{
+		{name: "nil truth", clusters: [][]string{{"a1"}}, truth: nil, wantErr: ErrEmptyTruth},
+		{name: "empty truth", clusters: [][]string{{"a1"}}, truth: map[string]string{}, wantErr: ErrEmptyTruth},
+		{name: "nil clusters", clusters: nil, truth: truth, wantErr: ErrNoItems},
+		{name: "all clusters empty", clusters: [][]string{{}, nil, {}}, truth: truth, wantErr: ErrNoItems},
+		{name: "unlabeled item", clusters: [][]string{{"zz"}}, truth: truth, anyErr: true},
+		{name: "duplicate item", clusters: [][]string{{"a1"}, {"a1"}}, truth: truth, anyErr: true},
+		{
+			name:     "empty slices counted and excluded",
+			clusters: [][]string{{"a1", "a2"}, {}, {"b1"}, nil},
+			truth:    truth,
+			check: func(t *testing.T, rep Report) {
+				if rep.EmptyClusters != 2 {
+					t.Errorf("EmptyClusters = %d, want 2", rep.EmptyClusters)
+				}
+				if rep.Clusters != 2 {
+					t.Errorf("Clusters = %d, want 2 (empties excluded)", rep.Clusters)
+				}
+				if !approx(rep.Precision, 1) || !approx(rep.Recall, 1) {
+					t.Errorf("perfect partition with empty slices scored %+v", rep)
+				}
+			},
+		},
+		{
+			name:     "truth-only samples counted and excluded",
+			clusters: [][]string{{"a1", "a2"}},
+			truth:    truth,
+			check: func(t *testing.T, rep Report) {
+				if rep.Items != 2 || rep.TruthOnly != 1 {
+					t.Errorf("Items=%d TruthOnly=%d, want 2/1", rep.Items, rep.TruthOnly)
+				}
+				if rep.References != 1 {
+					t.Errorf("References = %d, want 1 (unseen class excluded)", rep.References)
+				}
+				if !approx(rep.Precision, 1) || !approx(rep.Recall, 1) {
+					t.Errorf("clean partial clustering scored %+v", rep)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Compare(tc.clusters, tc.truth)
+			switch {
+			case tc.wantErr != nil:
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+			case tc.anyErr:
+				if err == nil {
+					t.Fatalf("want error, got %+v", rep)
+				}
+			default:
+				if err != nil {
+					t.Fatal(err)
+				}
+				tc.check(t, rep)
+			}
+		})
 	}
 }
