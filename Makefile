@@ -1,6 +1,6 @@
 # Mirrors .github/workflows/ci.yml for local runs.
 
-.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-overload smoke-shard smoke-replica smoke-poison fuzz-smoke
+.PHONY: check vet test race bench bench-json bench-guard run-landscaped smoke-landscaped smoke-crash smoke-chaos smoke-overload smoke-shard smoke-replica smoke-poison fuzz-smoke
 
 # Label for bench-json measurement campaigns; override per campaign:
 #   make bench-json LABEL=post-pr9
@@ -77,6 +77,44 @@ smoke-crash:
 		-batch 100 -replay-offset 350 -replay-verify; \
 	RC=$$?; kill -TERM $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
 	rm -rf /tmp/landscaped-crash /tmp/landscaped-crash-wal; exit $$RC
+
+# Disk-fault chaos smoke (DESIGN.md §15). Leg 1: the in-process soak —
+# 20 seeded write-side fault schedules (internal/chaos), each driving
+# ingest through injected EIO/torn-write/ENOSPC/fsync/rename failures
+# and operator restarts, each required to converge on cluster views
+# byte-identical to a clean run. Leg 2: the real daemon — serve with a
+# WAL under an injected fault schedule (-fault-seed), feed half the
+# scenario, force two checkpoints so a fallback generation exists,
+# SIGKILL the daemon, corrupt the live checkpoint on disk, restart it
+# clean, and require generation-fallback recovery (-replay-verify plus
+# the checkpoint_fallbacks counter), then a clean offline -wal-verify
+# (which also verifies every retained checkpoint generation). Mirrors
+# the CI "Chaos smoke" step.
+smoke-chaos:
+	go test -count=1 -v ./internal/chaos/
+	go build -o /tmp/landscaped-chaos ./cmd/landscaped
+	rm -rf /tmp/landscaped-chaos-wal && mkdir -p /tmp/landscaped-chaos-wal
+	/tmp/landscaped-chaos -small -addr 127.0.0.1:18905 \
+		-wal-dir /tmp/landscaped-chaos-wal -checkpoint-every 2 -wal-nosync \
+		-fault-seed 6 -fault-rate 0.25 -fault-max 6 & \
+	DPID=$$!; \
+	/tmp/landscaped-chaos -small -replay-to http://127.0.0.1:18905 \
+		-batch 25 -replay-limit 350; RC=$$?; \
+	curl -sf -X POST http://127.0.0.1:18905/v1/checkpoint >/dev/null || RC=1; \
+	curl -sf -X POST http://127.0.0.1:18905/v1/checkpoint >/dev/null || RC=1; \
+	kill -KILL $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
+	if [ $$RC -ne 0 ]; then rm -rf /tmp/landscaped-chaos /tmp/landscaped-chaos-wal; exit $$RC; fi; \
+	dd if=/dev/zero of=/tmp/landscaped-chaos-wal/checkpoint.json \
+		bs=1 seek=64 count=8 conv=notrunc status=none; \
+	/tmp/landscaped-chaos -small -addr 127.0.0.1:18905 \
+		-wal-dir /tmp/landscaped-chaos-wal -checkpoint-every 2 -wal-nosync & \
+	DPID=$$!; \
+	/tmp/landscaped-chaos -small -replay-to http://127.0.0.1:18905 \
+		-batch 100 -replay-offset 350 -replay-verify; RC=$$?; \
+	curl -sf http://127.0.0.1:18905/v1/stats | grep -q '"checkpoint_fallbacks": 1' || RC=1; \
+	kill -TERM $$DPID 2>/dev/null; wait $$DPID 2>/dev/null; \
+	/tmp/landscaped-chaos -wal-verify -wal-dir /tmp/landscaped-chaos-wal || RC=1; \
+	rm -rf /tmp/landscaped-chaos /tmp/landscaped-chaos-wal; exit $$RC
 
 # Overload smoke: a seeded multi-client load generator (internal/loadgen)
 # drives the service >=10x past a pinned apply capacity over HTTP and

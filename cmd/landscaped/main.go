@@ -15,6 +15,20 @@
 // startup — the listener comes up immediately and /readyz reports 503
 // until the checkpoint is loaded and the WAL suffix replayed.
 //
+// Durability self-heals (DESIGN.md §15): checkpoints carry a CRC
+// trailer and the previous -checkpoint-gens checkpoints are retained as
+// checkpoint.json.<gen> fallbacks, so a corrupt newest checkpoint costs
+// a longer WAL replay instead of the state; a failed WAL append is
+// retried once on a reopened (tail-repaired) log; persistent
+// append/checkpoint failure degrades the daemon to read-only — writes
+// answer a typed 503 with reason "storage_failed" while reads, /readyz,
+// and /v1/stats keep serving and expose the degradation. -scrub-every
+// walks the sealed WAL segments in the background and surfaces latent
+// corruption in /v1/stats before recovery needs those segments. For
+// chaos testing, -fault-seed injects a deterministic seeded schedule of
+// write-side disk faults under the WAL and checkpoint writer (`make
+// smoke-chaos` drives this against real SIGKILLs).
+//
 // Overload protection (all off by default, see DESIGN.md §9): with
 // -rate-limit each client (X-Client-ID header, else remote IP) gets a
 // token-bucket events/sec budget; -admission-deadline bounds how long
@@ -50,12 +64,14 @@
 //	landscaped [-addr :8844] [-seed N] [-small] [-scenario file.json]
 //	           [-epoch 256] [-queue 16] [-batch 64] [-shards N]
 //	           [-wal-dir DIR] [-checkpoint-every 64] [-wal-nosync]
+//	           [-checkpoint-gens 2] [-scrub-every D]
+//	           [-fault-seed N] [-fault-rate P] [-fault-max N]
 //	           [-rate-limit N] [-burst N] [-admission-deadline D]
 //	           [-shed-target D] [-degrade-target D] [-max-waiters N]
 //	           [-repl]
 //	landscaped -follow URL [flags]      # read replica of a -repl primary
 //	           [-repl-poll 500ms] [-max-lag D]
-//	landscaped -wal-verify -wal-dir DIR # offline WAL integrity walk
+//	landscaped -wal-verify -wal-dir DIR # offline WAL + checkpoint integrity walk
 //	landscaped -replay [flags]          # in-process replay + convergence check
 //	landscaped -replay-to URL [flags]   # replay the scenario over HTTP
 //	           [-replay-offset N] [-replay-limit N] [-replay-verify]
@@ -94,9 +110,11 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/enrich"
+	"repro/internal/faultfs"
 	"repro/internal/httpapi"
 	"repro/internal/replica"
 	"repro/internal/shard"
@@ -118,6 +136,11 @@ type options struct {
 	walDir          string
 	checkpointEvery int
 	walNoSync       bool
+	checkpointGens  int
+	scrubEvery      time.Duration
+	faultSeed       int64
+	faultRate       float64
+	faultMax        int
 
 	rateLimit         float64
 	burst             int
@@ -158,6 +181,11 @@ func main() {
 	flag.StringVar(&o.walDir, "wal-dir", "", "durability directory for the write-ahead log and checkpoints (empty = memory-only)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 64, "checkpoint automatically after every N applied batches (0 = only on /v1/checkpoint)")
 	flag.BoolVar(&o.walNoSync, "wal-nosync", false, "skip fsyncs on the WAL and checkpoints (faster, loses the last writes on power failure)")
+	flag.IntVar(&o.checkpointGens, "checkpoint-gens", 2, "previous checkpoints retained as fallback generations; recovery falls back to them when the newest checkpoint is corrupt (-1 = none)")
+	flag.DurationVar(&o.scrubEvery, "scrub-every", 0, "background WAL scrub interval: walk sealed segments, verify CRCs, surface corruption in /v1/stats (0 = off)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "chaos testing: inject seeded write-side disk faults (EIO, torn writes, fsync and rename failures) under the WAL and checkpoints (0 = off)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0.05, "chaos testing: per-operation fault probability used with -fault-seed")
+	flag.IntVar(&o.faultMax, "fault-max", 8, "chaos testing: total fault budget for -fault-seed, so a run converges (0 = unlimited)")
 	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "per-client admission budget in events/sec, keyed by X-Client-ID or remote IP (0 = unlimited)")
 	flag.IntVar(&o.burst, "burst", 0, "per-client token-bucket capacity in events (0 = max(rate-limit, 1))")
 	flag.DurationVar(&o.admissionDeadline, "admission-deadline", 0, "longest an ingest may wait for queue space before a 429 (0 = block indefinitely)")
@@ -229,6 +257,20 @@ func run(o options) error {
 			Dir:             o.walDir,
 			CheckpointEvery: o.checkpointEvery,
 			NoSync:          o.walNoSync,
+			Generations:     o.checkpointGens,
+		}
+		if o.faultSeed != 0 {
+			// The chaos harness (`make smoke-chaos`): a deterministic
+			// write-side fault schedule under the real daemon, so the
+			// self-heal and read-only machinery is exercised end to end.
+			cfg.Durability.FS = faultfs.New(nil, faultfs.Config{
+				Seed:      o.faultSeed,
+				WriteErr:  o.faultRate,
+				WriteTorn: o.faultRate / 2,
+				SyncErr:   o.faultRate,
+				RenameErr: o.faultRate,
+				MaxFaults: o.faultMax,
+			})
 		}
 	}
 
@@ -259,13 +301,16 @@ func run(o options) error {
 	if o.replay {
 		return replayInProcess(scenario, cfg, o.shards, o.batch)
 	}
-	return serve(scenario, cfg, o.shards, o.addr, o.repl)
+	return serve(scenario, cfg, o.shards, o.addr, o.repl, o.scrubEvery)
 }
 
 // verifyWAL is the offline integrity walk: every segment of every
-// shard is read end to end, checking CRCs and seq contiguity. A torn
-// newest segment is a warning (the next open repairs it); anything
-// else names the offending segment and exits non-zero.
+// shard is read end to end, checking CRCs and seq contiguity, and
+// every retained checkpoint (the live file plus each generation) must
+// pass its CRC trailer and decode as JSON. A torn newest segment is a
+// warning (the next open repairs it); anything else names the
+// offending file and exits non-zero. Quarantined *.corrupt files are
+// skipped — they are the evidence of an already-handled failure.
 func verifyWAL(root string) error {
 	dirs := []string{root}
 	if raw, err := os.ReadFile(filepath.Join(root, "shards.json")); err == nil {
@@ -283,17 +328,54 @@ func verifyWAL(root string) error {
 	for _, dir := range dirs {
 		segments, records, err := wal.VerifyDir(dir)
 		var verr *wal.VerifyError
-		if errors.As(err, &verr) && verr.Repairable {
+		switch {
+		case errors.As(err, &verr) && verr.Repairable:
 			fmt.Printf("%s: %d segments, %d records, torn tail in %s (repaired on next open)\n",
 				dir, segments, records, verr.Path)
+		case err != nil:
+			return fmt.Errorf("%s: %w", dir, err)
+		default:
+			fmt.Printf("%s: %d segments, %d records, all frames verified\n", dir, segments, records)
+		}
+		n, err := verifyCheckpoints(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d checkpoint file(s) verified\n", dir, n)
+	}
+	return nil
+}
+
+// verifyCheckpoints validates the live checkpoint and every retained
+// generation in dir: CRC trailer (when sealed) and JSON decodability.
+func verifyCheckpoints(dir string) (int, error) {
+	gens, err := ckpt.Generations(nil, dir)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", dir, err)
+	}
+	paths := []string{filepath.Join(dir, ckpt.Name)}
+	for _, g := range gens {
+		paths = append(paths, ckpt.GenName(dir, g))
+	}
+	n := 0
+	for _, p := range paths {
+		blob, err := os.ReadFile(p)
+		if errors.Is(err, os.ErrNotExist) {
 			continue
 		}
 		if err != nil {
-			return fmt.Errorf("%s: %w", dir, err)
+			return n, fmt.Errorf("%s: %w", p, err)
 		}
-		fmt.Printf("%s: %d segments, %d records, all frames verified\n", dir, segments, records)
+		payload, _, err := ckpt.Unseal(blob)
+		if err != nil {
+			return n, fmt.Errorf("%s: %w", p, err)
+		}
+		if !json.Valid(payload) {
+			return n, fmt.Errorf("%s: checkpoint payload is not valid JSON", p)
+		}
+		n++
 	}
-	return nil
+	return n, nil
 }
 
 // backend is what the daemon hosts: the plain streaming service when
@@ -303,6 +385,7 @@ type backend interface {
 	httpapi.Backend
 	Ingest(ctx context.Context, events []dataset.Event) error
 	Counts() (events, samples, executable, e, p, m, b int)
+	ScrubWAL() error
 	Close()
 }
 
@@ -481,7 +564,7 @@ func aggregateStats(b backend) stream.Stats {
 // The listener binds before the service exists so /healthz and /readyz
 // answer during a long recovery; every other endpoint returns 503
 // until the service is ready.
-func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string, repl bool) error {
+func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string, repl bool, scrubEvery time.Duration) error {
 	// atomic.Value over the concrete backend: the getter returns a nil
 	// interface until recovery finishes, never a typed-nil pointer.
 	var bp atomic.Value
@@ -526,6 +609,29 @@ func serve(scenario core.Scenario, cfg stream.Config, shards int, addr string, r
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.Serve(ln) }()
+
+	if scrubEvery > 0 && cfg.Durability.Dir != "" {
+		// Background WAL scrubber: read-only, so it only ever runs
+		// against the live backend (nil until recovery finishes).
+		// Findings land in /v1/stats; the daemon log gets a line so
+		// operators notice without polling.
+		go func() {
+			t := time.NewTicker(scrubEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if b := load(); b != nil {
+						if err := b.ScrubWAL(); err != nil {
+							fmt.Fprintln(os.Stderr, "landscaped: wal scrub:", err)
+						}
+					}
+				}
+			}
+		}()
+	}
 
 	initErr := make(chan error, 1)
 	go func() {
@@ -772,4 +878,3 @@ func post(client *http.Client, url string, body []byte) error {
 	io.Copy(io.Discard, resp.Body)
 	return nil
 }
-

@@ -1,0 +1,186 @@
+// Package chaos is the disk-fault soak harness behind `make
+// smoke-chaos`: it drives a durable stream.Service through seeded
+// faultfs schedules — transient and permanent write EIO, torn writes,
+// ENOSPC, fsync and rename failures — restarting the service the way an
+// operator restarts a degraded process, and hands the survivor back so
+// the caller can assert its views are byte-identical to a clean run.
+//
+// The schedules are write-side only. Write-path faults can only lose
+// work the service never acknowledged (a failed append surfaces before
+// the batch is applied), so recovery equivalence is provable. Read-side
+// faults (bit flips, read EIO) are detection problems — the scrubber,
+// the shipping reader, and -wal-verify own those — and injecting them
+// under recovery would fault the prover, not the system under test.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/dataset"
+	"repro/internal/faultfs"
+	"repro/internal/pe"
+	"repro/internal/stream"
+)
+
+// Enricher labels every sample deterministically and emits one
+// synthetic behavior set per truth variant, so equivalence across runs
+// is exact.
+type Enricher struct{}
+
+// LabelSample implements stream.Enricher.
+func (Enricher) LabelSample(s *dataset.Sample) error {
+	s.AVLabel = "Chaos." + s.TruthVariant
+	return nil
+}
+
+// ExecuteSample implements stream.Enricher.
+func (Enricher) ExecuteSample(s *dataset.Sample) (*behavior.Profile, bool, error) {
+	p := behavior.NewProfile()
+	for k := 0; k < 10; k++ {
+		p.Add(fmt.Sprintf("%s-beh%d", s.TruthVariant, k))
+	}
+	return p, false, nil
+}
+
+// Corpus builds n deterministic well-formed events across three truth
+// variants; the same n always yields the same corpus.
+func Corpus(n int) []dataset.Event {
+	epoch := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]dataset.Event, 0, n)
+	for i := 0; i < n; i++ {
+		variant := fmt.Sprintf("v%d", i%3)
+		out = append(out, dataset.Event{
+			ID:          fmt.Sprintf("chaos%05d", i),
+			Time:        epoch.Add(time.Duration(i) * time.Minute),
+			Attacker:    fmt.Sprintf("10.1.%d.%d", i%5, i%13),
+			Sensor:      fmt.Sprintf("s%d", i%7),
+			FSMPath:     fmt.Sprintf("fsm-%d", i%3),
+			DestPort:    445,
+			Protocol:    "ftp",
+			Filename:    "a.exe",
+			PayloadPort: 33333,
+			Interaction: "push",
+			Sample: pe.Features{
+				MD5:         fmt.Sprintf("md5-%s-%d", variant, i%4),
+				IsPE:        true,
+				Magic:       pe.MagicPEGUI,
+				NumSections: 3,
+			},
+			DownloadOutcome: "ok",
+			TruthVariant:    variant,
+		})
+	}
+	return out
+}
+
+// Schedule is one seeded fault configuration.
+type Schedule struct {
+	Name string
+	Cfg  faultfs.Config
+}
+
+// Schedules derives n distinct write-side fault schedules from a base
+// seed, cycling a set of failure profiles so the sweep covers transient
+// EIO, torn writes, ENOSPC, fsync failures, rename failures, and
+// metadata-op failures. Every schedule carries a fault budget
+// (MaxFaults) so a retrying caller always converges.
+func Schedules(base int64, n int) []Schedule {
+	profiles := []struct {
+		name string
+		cfg  faultfs.Config
+	}{
+		{"write-eio", faultfs.Config{WriteErr: 0.08, SyncErr: 0.05}},
+		{"torn-writes", faultfs.Config{WriteTorn: 0.08, SyncErr: 0.04}},
+		{"enospc", faultfs.Config{WriteENOSPC: 0.08, WriteErr: 0.03}},
+		{"rename-meta", faultfs.Config{RenameErr: 0.2, MetaErr: 0.02, WriteErr: 0.03}},
+		{"mixed", faultfs.Config{WriteErr: 0.04, WriteTorn: 0.04, SyncErr: 0.04, RenameErr: 0.06, MetaErr: 0.01}},
+	}
+	out := make([]Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		p := profiles[i%len(profiles)]
+		cfg := p.cfg
+		cfg.Seed = base + int64(i)
+		cfg.MaxFaults = 6
+		out = append(out, Schedule{Name: fmt.Sprintf("%s-seed%d", p.name, cfg.Seed), Cfg: cfg})
+	}
+	return out
+}
+
+// Result is one soak run's ledger.
+type Result struct {
+	// Restarts counts service teardowns forced by a failed write or a
+	// failed recovery attempt.
+	Restarts int
+	// Refeeds counts batches that had to be fed again after a restart.
+	Refeeds int
+	// Faults is the injector's final ledger.
+	Faults faultfs.Stats
+}
+
+// maxAttempts bounds restart/retry loops; MaxFaults makes every
+// schedule converge long before this, so hitting it means the service
+// stopped healing.
+const maxAttempts = 100
+
+// Soak feeds events through a durable service in batchSize batches
+// under cfg's fault injector, flushing after every batch so write
+// failures surface immediately. A failed batch triggers the operator
+// move — tear the process down, recover from checkpoint + WAL, feed the
+// batch again — and the dataset-level dedup makes refeeding a batch
+// whose append actually survived a no-op. Returns the final service
+// (caller closes it) and the run ledger.
+func Soak(cfg stream.Config, inj *faultfs.Faulty, events []dataset.Event, batchSize int) (final *stream.Service, res Result, err error) {
+	ctx := context.Background()
+	if inj != nil {
+		defer func() { res.Faults = inj.Stats() }()
+	}
+	boot := func() (*stream.Service, error) {
+		var last error
+		for a := 0; a < maxAttempts; a++ {
+			svc, err := stream.New(cfg, Enricher{})
+			if err == nil {
+				return svc, nil
+			}
+			// Recovery itself drew a fault; retry until the budget runs
+			// out and the disk behaves.
+			last = err
+			res.Restarts++
+		}
+		return nil, fmt.Errorf("chaos: recovery never converged: %w", last)
+	}
+	svc, err := boot()
+	if err != nil {
+		return nil, res, err
+	}
+	for lo := 0; lo < len(events); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(events) {
+			hi = len(events)
+		}
+		for attempt := 0; ; attempt++ {
+			ferr := svc.Ingest(ctx, events[lo:hi])
+			if ferr == nil {
+				ferr = svc.Flush(ctx)
+			}
+			if ferr == nil {
+				break
+			}
+			if attempt >= maxAttempts {
+				svc.Close()
+				return nil, res, fmt.Errorf("chaos: batch %d-%d never landed: %w", lo, hi, ferr)
+			}
+			// The operator restart: degraded (or merely failed) writes
+			// mean tear down, recover from disk, feed the batch again.
+			svc.Close()
+			res.Restarts++
+			res.Refeeds++
+			if svc, err = boot(); err != nil {
+				return nil, res, err
+			}
+		}
+	}
+	return svc, res, nil
+}

@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/stream"
+)
+
+// landscape snapshots the comparable state: stable-ID EPM views and the
+// B membership partition. Storage/WAL counters are process history, not
+// landscape state, and legitimately differ under faults.
+type landscape struct {
+	epm map[string]stream.EPMView
+	b   [][]string
+}
+
+func snapshot(t *testing.T, svc *stream.Service) landscape {
+	t.Helper()
+	l := landscape{epm: map[string]stream.EPMView{}}
+	for _, dim := range []string{"epsilon", "pi", "mu"} {
+		v, err := svc.EPMClusters(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.epm[dim] = v
+	}
+	for _, c := range svc.BResult().Clusters {
+		l.b = append(l.b, c.Members)
+	}
+	return l
+}
+
+func chaosConfig(dir string, inj *faultfs.Faulty) stream.Config {
+	cfg := stream.DefaultConfig()
+	cfg.EpochSize = 8
+	cfg.Durability = stream.Durability{
+		Dir:             dir,
+		CheckpointEvery: 2,
+		NoSync:          true,
+		Generations:     2,
+		FS:              inj,
+	}
+	return cfg
+}
+
+// TestChaosSoakByteIdentical is the tentpole soak gate: >=20 seeded
+// write-side fault schedules, each driving ingest through injected
+// failures and operator restarts, and each required to converge on EPM
+// views and a B partition byte-identical to one clean uninterrupted
+// run. Every schedule must actually inject faults — a soak that drew no
+// failures proves nothing.
+func TestChaosSoakByteIdentical(t *testing.T) {
+	events := Corpus(160)
+	const batchSize = 8
+
+	clean, err := stream.New(stream.Config(func() stream.Config {
+		c := stream.DefaultConfig()
+		c.EpochSize = 8
+		return c
+	}()), Enricher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	ctx := context.Background()
+	for lo := 0; lo < len(events); lo += batchSize {
+		if err := clean.Ingest(ctx, events[lo:lo+batchSize]); err != nil {
+			t.Fatal(err)
+		}
+		if err := clean.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshot(t, clean)
+
+	totalFaults, totalRestarts := 0, 0
+	for _, sched := range Schedules(1, 20) {
+		sched := sched
+		t.Run(sched.Name, func(t *testing.T) {
+			inj := faultfs.New(nil, sched.Cfg)
+			svc, res, err := Soak(chaosConfig(t.TempDir(), inj), inj, events, batchSize)
+			if err != nil {
+				t.Fatalf("soak: %v (ledger %+v)", err, res)
+			}
+			defer svc.Close()
+			got := snapshot(t, svc)
+			if !reflect.DeepEqual(got.epm, want.epm) {
+				t.Fatalf("EPM views diverged after %d faults / %d restarts", res.Faults.Total, res.Restarts)
+			}
+			if !reflect.DeepEqual(got.b, want.b) {
+				t.Fatalf("B partition diverged after %d faults / %d restarts", res.Faults.Total, res.Restarts)
+			}
+			if res.Faults.Total == 0 {
+				t.Fatalf("schedule injected no faults; ops: %+v", res.Faults.Ops)
+			}
+			if st := svc.Stats(); st.Events != len(events) {
+				t.Fatalf("survivor holds %d events, want %d", st.Events, len(events))
+			}
+			totalFaults += res.Faults.Total
+			totalRestarts += res.Restarts
+		})
+	}
+	t.Logf("soak: %d faults injected, %d restarts across 20 schedules", totalFaults, totalRestarts)
+}
+
+// TestSchedulesDistinct pins the sweep shape: the requested count, all
+// names distinct, every schedule seeded differently and fault-budgeted.
+func TestSchedulesDistinct(t *testing.T) {
+	scheds := Schedules(100, 25)
+	if len(scheds) != 25 {
+		t.Fatalf("%d schedules, want 25", len(scheds))
+	}
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, s := range scheds {
+		if names[s.Name] || seeds[s.Cfg.Seed] {
+			t.Fatalf("duplicate schedule %q / seed %d", s.Name, s.Cfg.Seed)
+		}
+		names[s.Name] = true
+		seeds[s.Cfg.Seed] = true
+		if s.Cfg.MaxFaults <= 0 {
+			t.Fatalf("schedule %q has no fault budget", s.Name)
+		}
+	}
+}
+
+// TestCorpusDeterministic pins the corpus: same n, same bytes.
+func TestCorpusDeterministic(t *testing.T) {
+	a, b := Corpus(50), Corpus(50)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("corpus is not deterministic")
+	}
+	if fmt.Sprint(a[0].ID) != "chaos00000" {
+		t.Fatalf("unexpected corpus head %q", a[0].ID)
+	}
+}

@@ -1,0 +1,151 @@
+// Package ckpt holds the checkpoint-file integrity conventions shared
+// by the stream service, the replica publisher, and the offline
+// verifier: the CRC trailer sealed onto every checkpoint blob, the
+// `checkpoint.json.<gen>` retained-generation naming, and the
+// newest-valid-generation selection corrupt checkpoints fall back
+// through.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultfs"
+)
+
+// Name is the newest checkpoint; retained generations are Name.<gen>.
+const Name = "checkpoint.json"
+
+// CorruptSuffix marks a quarantined checkpoint file: recovery renames a
+// generation that failed its CRC or decode aside instead of deleting
+// the evidence, and the verifier skips them.
+const CorruptSuffix = ".corrupt"
+
+// trailerPrefix introduces the CRC trailer line. The blob itself is
+// JSON, which escapes newlines inside strings, so the byte sequence
+// cannot occur before the trailer Seal appends.
+const trailerPrefix = "\n#checkpoint-crc32 "
+
+// Seal appends the CRC trailer: one line carrying the IEEE CRC of
+// everything before it.
+func Seal(blob []byte) []byte {
+	sum := crc32.ChecksumIEEE(blob)
+	return append(blob, []byte(fmt.Sprintf("%s%08x\n", trailerPrefix, sum))...)
+}
+
+// Unseal verifies and strips the trailer. Blobs without one (written
+// before sealing existed) pass through unchanged with sealed=false; a
+// present-but-wrong trailer is corruption.
+func Unseal(blob []byte) (payload []byte, sealed bool, err error) {
+	i := bytes.LastIndex(blob, []byte(trailerPrefix))
+	if i < 0 {
+		return blob, false, nil
+	}
+	line := bytes.TrimSuffix(blob[i+len(trailerPrefix):], []byte("\n"))
+	want, perr := strconv.ParseUint(string(line), 16, 32)
+	if perr != nil {
+		return nil, true, fmt.Errorf("ckpt: malformed crc trailer %q", line)
+	}
+	payload = blob[:i]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return nil, true, fmt.Errorf("ckpt: crc mismatch: trailer %08x, payload %08x", uint32(want), got)
+	}
+	return payload, true, nil
+}
+
+// GenName names a retained generation file.
+func GenName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%d", Name, gen))
+}
+
+// ParseGen extracts the generation from a file name in dir;
+// ok is false for the live checkpoint, quarantined files, and
+// everything else.
+func ParseGen(name string) (uint64, bool) {
+	rest, found := strings.CutPrefix(name, Name+".")
+	if !found || rest == "" || strings.HasSuffix(name, CorruptSuffix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Generations lists the retained generation numbers in dir, ascending.
+func Generations(fs faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := faultfs.OrOS(fs).ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := ParseGen(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(a, b int) bool { return gens[a] < gens[b] })
+	return gens, nil
+}
+
+// LoadNewestValid reads the newest checkpoint whose CRC verifies and
+// whose payload is well-formed JSON: the live file first, then retained
+// generations newest-first. It returns the unsealed payload and the
+// path it came from; os.ErrNotExist when no checkpoint exists at all.
+// Invalid candidates are skipped, not modified — quarantine is the
+// recovering service's decision, not the reader's.
+func LoadNewestValid(fs faultfs.FS, dir string) (payload []byte, path string, err error) {
+	fs = faultfs.OrOS(fs)
+	gens, err := Generations(fs, dir)
+	if err != nil {
+		return nil, "", err
+	}
+	candidates := []string{filepath.Join(dir, Name)}
+	for i := len(gens) - 1; i >= 0; i-- {
+		candidates = append(candidates, GenName(dir, gens[i]))
+	}
+	var firstErr error
+	exists := false
+	for _, p := range candidates {
+		blob, rerr := fs.ReadFile(p)
+		if rerr != nil {
+			if !os.IsNotExist(rerr) {
+				exists = true
+				if firstErr == nil {
+					firstErr = rerr
+				}
+			}
+			continue
+		}
+		exists = true
+		pl, _, uerr := Unseal(blob)
+		if uerr != nil || !json.Valid(pl) {
+			if firstErr == nil {
+				if uerr == nil {
+					uerr = fmt.Errorf("ckpt: %s: payload is not valid JSON", p)
+				}
+				firstErr = uerr
+			}
+			continue
+		}
+		return pl, p, nil
+	}
+	if !exists {
+		return nil, "", os.ErrNotExist
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("ckpt: no valid checkpoint in %s", dir)
+	}
+	return nil, "", fmt.Errorf("ckpt: no valid checkpoint in %s: %w", dir, firstErr)
+}

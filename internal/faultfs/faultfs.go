@@ -1,0 +1,400 @@
+// Package faultfs abstracts the filesystem operations the durability
+// chain performs (WAL segments, checkpoints, shipping reads) behind a
+// small interface with two implementations: a zero-cost passthrough to
+// the os package, and a deterministic seeded fault injector that
+// returns the failures real disks produce — transient and permanent
+// EIO, ENOSPC, short (torn) writes, fsync failures, rename failures,
+// and read-side bit flips — on a reproducible schedule.
+//
+// The passthrough is the default everywhere: a nil FS in wal.Options or
+// stream.Durability selects OS, so production configurations are
+// byte-identical to the pre-faultfs code path. The injector exists for
+// the chaos harness (internal/chaos, `make smoke-chaos`) and the
+// fault-schedule recovery property tests.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Op classifies a filesystem operation for fault scheduling.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpCreate   Op = "create"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpTruncate Op = "truncate"
+	OpReadDir  Op = "readdir"
+	OpMkdir    Op = "mkdir"
+)
+
+// File is the handle surface the durability chain uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the directory-level surface. All paths are passed through
+// verbatim; implementations do not resolve or sandbox them.
+type FS interface {
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the passthrough implementation.
+var OS FS = osFS{}
+
+// OrOS normalizes a possibly-nil FS to the passthrough, the idiom every
+// consumer uses so the zero configuration stays inert.
+func OrOS(fs FS) FS {
+	if fs == nil {
+		return OS
+	}
+	return fs
+}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+// Kind is the injected failure shape.
+type Kind string
+
+const (
+	// KindEIO fails the operation with syscall.EIO.
+	KindEIO Kind = "eio"
+	// KindENOSPC fails a write/create with syscall.ENOSPC.
+	KindENOSPC Kind = "enospc"
+	// KindTorn writes a strict prefix of the buffer, then fails — the
+	// on-disk tail is genuinely torn, exactly what a power cut leaves.
+	KindTorn Kind = "torn"
+	// KindFlip succeeds a read but flips one bit in the returned buffer
+	// (transient by construction: the bytes on disk are untouched).
+	KindFlip Kind = "flip"
+)
+
+// Rule fires deterministically on specific invocations of one Op:
+// invocation indices are 1-based and counted per Op across the whole
+// injector. Until extends the rule through later invocations — 0 fires
+// on exactly At, a positive value through [At, Until], and -1 forever
+// ("permanent" faults, e.g. a sync that never succeeds again).
+type Rule struct {
+	Op    Op
+	At    int
+	Until int
+	Kind  Kind
+}
+
+func (r Rule) matches(n int) bool {
+	switch {
+	case n < r.At:
+		return false
+	case r.Until == 0:
+		return n == r.At
+	case r.Until < 0:
+		return true
+	default:
+		return n <= r.Until
+	}
+}
+
+// Config parameterizes the injector. The probabilistic rates draw from
+// one seeded stream in operation order, so a single-writer workload
+// replays the same fault schedule for the same seed; Rules fire on
+// exact invocation counts regardless of the rates and the fault cap.
+type Config struct {
+	Seed int64
+	// Per-op fault probabilities in [0,1].
+	ReadErr, ReadFlip    float64
+	WriteErr, WriteTorn  float64
+	WriteENOSPC, SyncErr float64
+	RenameErr, MetaErr   float64 // MetaErr covers open/create/remove/truncate/readdir/mkdir
+	// MaxFaults caps the probabilistic faults injected over the
+	// injector's lifetime (0 = unlimited), so a schedule is finite and a
+	// retrying caller always converges. Rules are exempt.
+	MaxFaults int
+	Rules     []Rule
+}
+
+// Faulty wraps an inner FS and injects the configured faults. Safe for
+// concurrent use; determinism requires a deterministic operation order,
+// which the service's single apply worker provides.
+type Faulty struct {
+	inner FS
+	cfg   Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[Op]int
+	faults map[Kind]int
+	total  int
+}
+
+// New wraps inner (nil selects the passthrough) with cfg's schedule.
+func New(inner FS, cfg Config) *Faulty {
+	return &Faulty{
+		inner:  OrOS(inner),
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make(map[Op]int),
+		faults: make(map[Kind]int),
+	}
+}
+
+// Stats reports operation and injected-fault counts by kind.
+type Stats struct {
+	Ops    map[Op]int
+	Faults map[Kind]int
+	Total  int
+}
+
+// Stats snapshots the injector's ledger.
+func (f *Faulty) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Stats{Ops: make(map[Op]int, len(f.counts)), Faults: make(map[Kind]int, len(f.faults)), Total: f.total}
+	for k, v := range f.counts {
+		st.Ops[k] = v
+	}
+	for k, v := range f.faults {
+		st.Faults[k] = v
+	}
+	return st
+}
+
+// decide records one invocation of op and returns the fault to inject,
+// if any. flip reports whether a read should bit-flip instead of fail.
+func (f *Faulty) decide(op Op) (Kind, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	n := f.counts[op]
+	for _, r := range f.cfg.Rules {
+		if r.Op == op && r.matches(n) {
+			f.faults[r.Kind]++
+			f.total++
+			return r.Kind, true
+		}
+	}
+	if f.cfg.MaxFaults > 0 && f.total >= f.cfg.MaxFaults {
+		return "", false
+	}
+	roll := func(p float64) bool { return p > 0 && f.rng.Float64() < p }
+	var kind Kind
+	switch op {
+	case OpRead:
+		if roll(f.cfg.ReadErr) {
+			kind = KindEIO
+		} else if roll(f.cfg.ReadFlip) {
+			kind = KindFlip
+		}
+	case OpWrite:
+		if roll(f.cfg.WriteErr) {
+			kind = KindEIO
+		} else if roll(f.cfg.WriteTorn) {
+			kind = KindTorn
+		} else if roll(f.cfg.WriteENOSPC) {
+			kind = KindENOSPC
+		}
+	case OpSync:
+		if roll(f.cfg.SyncErr) {
+			kind = KindEIO
+		}
+	case OpRename:
+		if roll(f.cfg.RenameErr) {
+			kind = KindEIO
+		}
+	default:
+		if roll(f.cfg.MetaErr) {
+			kind = KindEIO
+		}
+	}
+	if kind == "" {
+		return "", false
+	}
+	f.faults[kind]++
+	f.total++
+	return kind, true
+}
+
+// errFor builds the injected error for one op.
+func errFor(kind Kind, op Op, name string) error {
+	errno := syscall.EIO
+	if kind == KindENOSPC {
+		errno = syscall.ENOSPC
+	}
+	return &os.PathError{Op: "faultfs-" + string(op), Path: name, Err: errno}
+}
+
+func (f *Faulty) Open(name string) (File, error) {
+	if kind, ok := f.decide(OpOpen); ok {
+		return nil, errFor(kind, OpOpen, name)
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: inner}, nil
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpOpen
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if kind, ok := f.decide(op); ok {
+		return nil, errFor(kind, op, name)
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: inner}, nil
+}
+
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if kind, ok := f.decide(OpCreate); ok {
+		return nil, errFor(kind, OpCreate, dir+"/"+pattern)
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: inner}, nil
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if kind, ok := f.decide(OpRename); ok {
+		return errFor(kind, OpRename, oldpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if kind, ok := f.decide(OpRemove); ok {
+		return errFor(kind, OpRemove, name)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) Truncate(name string, size int64) error {
+	if kind, ok := f.decide(OpTruncate); ok {
+		return errFor(kind, OpTruncate, name)
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if kind, ok := f.decide(OpMkdir); ok {
+		return errFor(kind, OpMkdir, path)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) ReadDir(name string) ([]os.DirEntry, error) {
+	if kind, ok := f.decide(OpReadDir); ok {
+		return nil, errFor(kind, OpReadDir, name)
+	}
+	return f.inner.ReadDir(name)
+}
+
+// ReadFile routes through Open so whole-file reads share the read-fault
+// schedule (including bit flips) with streaming readers.
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	h, err := f.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	return io.ReadAll(h)
+}
+
+func (f *Faulty) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+
+// faultyFile injects read/write/sync faults on one handle.
+type faultyFile struct {
+	f     *Faulty
+	inner File
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	kind, ok := ff.f.decide(OpRead)
+	if ok && kind == KindEIO {
+		return 0, errFor(kind, OpRead, ff.inner.Name())
+	}
+	n, err := ff.inner.Read(p)
+	if ok && kind == KindFlip && n > 0 {
+		ff.f.mu.Lock()
+		idx := ff.f.rng.Intn(n)
+		bit := byte(1) << ff.f.rng.Intn(8)
+		ff.f.mu.Unlock()
+		p[idx] ^= bit
+	}
+	return n, err
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	kind, ok := ff.f.decide(OpWrite)
+	if !ok {
+		return ff.inner.Write(p)
+	}
+	if kind == KindTorn && len(p) > 1 {
+		// Land a strict prefix so the file holds a genuinely torn frame,
+		// then report the failure.
+		n, err := ff.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, errFor(KindEIO, OpWrite, ff.inner.Name())
+	}
+	return 0, errFor(kind, OpWrite, ff.inner.Name())
+}
+
+func (ff *faultyFile) Sync() error {
+	if kind, ok := ff.f.decide(OpSync); ok {
+		return errFor(kind, OpSync, ff.inner.Name())
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Close() error               { return ff.inner.Close() }
+func (ff *faultyFile) Name() string               { return ff.inner.Name() }
+func (ff *faultyFile) Stat() (os.FileInfo, error) { return ff.inner.Stat() }
+
+// String renders a compact fault summary for logs.
+func (st Stats) String() string {
+	return fmt.Sprintf("faultfs: %d faults over %d op classes", st.Total, len(st.Ops))
+}

@@ -1,0 +1,218 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+func writeOnce(t *testing.T, fs FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// TestPassthroughRoundTrip checks the zero-config injector is inert: a
+// Faulty with no rates and no rules behaves exactly like the OS
+// passthrough it wraps.
+func TestPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, fs := range map[string]FS{"os": OrOS(nil), "faulty-zero": New(nil, Config{})} {
+		path := filepath.Join(dir, name)
+		if err := writeOnce(t, fs, path, []byte("payload")); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := fs.ReadFile(path)
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("%s: read back %q, %v", name, got, err)
+		}
+		if err := fs.Rename(path, path+".2"); err != nil {
+			t.Fatalf("%s: rename: %v", name, err)
+		}
+		if err := fs.Remove(path + ".2"); err != nil {
+			t.Fatalf("%s: remove: %v", name, err)
+		}
+	}
+}
+
+// TestRuleSchedule pins the Rule matching semantics: 1-based per-op
+// invocation counts, Until=0 exact, a positive Until closing a range,
+// and Until=-1 permanent.
+func TestRuleSchedule(t *testing.T) {
+	fs := New(nil, Config{Rules: []Rule{
+		{Op: OpWrite, At: 2, Kind: KindEIO},             // exactly the 2nd write
+		{Op: OpSync, At: 1, Until: 2, Kind: KindEIO},    // syncs 1 and 2
+		{Op: OpRename, At: 1, Until: -1, Kind: KindEIO}, // every rename, forever
+	}})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wants := []bool{false, true, false, false} // write 2 fails, 1/3/4 succeed
+	for i, wantErr := range wants {
+		_, err := f.Write([]byte("x"))
+		if (err != nil) != wantErr {
+			t.Fatalf("write %d: err=%v, want error=%v", i+1, err, wantErr)
+		}
+	}
+	for i, wantErr := range []bool{true, true, false} {
+		if err := f.Sync(); (err != nil) != wantErr {
+			t.Fatalf("sync %d: err=%v, want error=%v", i+1, err, wantErr)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := fs.Rename(path, path); err == nil {
+			t.Fatalf("rename %d succeeded under a permanent rule", i+1)
+		}
+	}
+}
+
+// TestTornWrite checks KindTorn lands a strict prefix on disk — the
+// half-written frame a power cut leaves — and still reports a failure.
+func TestTornWrite(t *testing.T) {
+	fs := New(nil, Config{Rules: []Rule{{Op: OpWrite, At: 1, Kind: KindTorn}}})
+	path := filepath.Join(t.TempDir(), "torn")
+	payload := []byte("0123456789abcdef")
+	if err := writeOnce(t, fs, path, payload); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Fatalf("on-disk tail %q, want the strict prefix %q", got, payload[:len(payload)/2])
+	}
+}
+
+// TestReadFlip checks KindFlip corrupts exactly one bit of one read and
+// leaves the bytes on disk untouched, so the next read is clean.
+func TestReadFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flip")
+	payload := []byte("checksummed frame bytes")
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(nil, Config{Seed: 7, Rules: []Rule{{Op: OpRead, At: 1, Kind: KindFlip}}})
+	got, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range payload {
+		diff += popcount(got[i] ^ payload[i])
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bits, want exactly 1", diff)
+	}
+	clean, err := fs.ReadFile(path)
+	if err != nil || !bytes.Equal(clean, payload) {
+		t.Fatalf("second read not clean: %q, %v", clean, err)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// TestENOSPCAndErrorShape checks injected errors are typed PathErrors
+// carrying the real errno, so errors.Is works on them.
+func TestENOSPCAndErrorShape(t *testing.T) {
+	fs := New(nil, Config{Rules: []Rule{
+		{Op: OpWrite, At: 1, Kind: KindENOSPC},
+		{Op: OpWrite, At: 2, Kind: KindEIO},
+	}})
+	path := filepath.Join(t.TempDir(), "f")
+	if err := writeOnce(t, fs, path, []byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("first write: %v, want ENOSPC", err)
+	}
+	err := writeOnce(t, fs, path, []byte("x"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second write: %v, want EIO", err)
+	}
+	var pe *os.PathError
+	if !errors.As(err, &pe) || pe.Op != "faultfs-write" {
+		t.Fatalf("injected error %v, want a faultfs-write PathError", err)
+	}
+}
+
+// TestSeededDeterminism checks two injectors with the same seed and the
+// same operation sequence produce the same fault schedule, and a
+// different seed produces a different one.
+func TestSeededDeterminism(t *testing.T) {
+	run := func(seed int64) Stats {
+		fs := New(nil, Config{Seed: seed, WriteErr: 0.3, SyncErr: 0.3})
+		path := filepath.Join(t.TempDir(), "f")
+		f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for i := 0; i < 50; i++ {
+			f.Write([]byte("x"))
+			f.Sync()
+		}
+		return fs.Stats()
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Total == 0 {
+		t.Fatal("30% rates over 100 ops injected nothing")
+	}
+	if c := run(43); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced the identical schedule: %+v", c)
+	}
+}
+
+// TestMaxFaultsCapsProbabilistic checks the fault budget: certain-fire
+// rates stop injecting at MaxFaults so a retrying caller converges, but
+// exact Rules remain exempt from the cap.
+func TestMaxFaultsCapsProbabilistic(t *testing.T) {
+	fs := New(nil, Config{
+		WriteErr:  1.0,
+		MaxFaults: 2,
+		Rules:     []Rule{{Op: OpSync, At: 5, Kind: KindEIO}},
+	})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	failures := 0
+	for i := 0; i < 10; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("%d write failures under MaxFaults=2, want 2", failures)
+	}
+	for i := 1; i <= 5; i++ {
+		err := f.Sync()
+		if wantErr := i == 5; (err != nil) != wantErr {
+			t.Fatalf("sync %d past the cap: err=%v, want error=%v (rules are exempt)", i, err, wantErr)
+		}
+	}
+	st := fs.Stats()
+	if st.Total != 3 || st.Faults[KindEIO] != 3 {
+		t.Fatalf("fault ledger %+v, want 3 EIO faults", st)
+	}
+}

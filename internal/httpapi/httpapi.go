@@ -90,6 +90,19 @@ func New(get func() Backend, opts Options) http.Handler {
 				return
 			}
 		}
+		// A storage-degraded backend still serves reads, so it stays
+		// ready (200) — load balancers must not drop read traffic — but
+		// the degradation is advertised for operators and write routers.
+		if sr, ok := get().(interface{ StorageFailure() error }); ok {
+			if err := sr.StorageFailure(); err != nil {
+				writeJSON(w, map[string]string{
+					"status": "degraded",
+					"reason": stream.StorageFailedReason,
+					"error":  err.Error(),
+				})
+				return
+			}
+		}
 		writeJSON(w, map[string]string{"status": "ready"})
 	})
 	if opts.Repl != nil {
@@ -212,9 +225,10 @@ func decodeEvents(w http.ResponseWriter, r *http.Request, maxBody int64) ([]data
 // the primary; no Retry-After, retrying here can never succeed);
 // admission rejections become 429 (the client should
 // slow down: rate-limit, deadline) or 503 (the service is saturated:
-// queue-full, shed) with a Retry-After header; the fail-closed fatal
-// state is 500 (operator intervention — restart — required); anything
-// else is 503.
+// queue-full, shed) with a Retry-After header; storage-failure
+// read-only mode is a typed 503 with reason "storage_failed" (reads
+// keep serving; writes need operator intervention); anything else is
+// 503.
 func writeServiceError(w http.ResponseWriter, err error) {
 	if errors.Is(err, stream.ErrReadOnly) {
 		// A replica: the write is not retryable here, ever — the client
@@ -242,9 +256,13 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		})
 		return
 	}
-	var fatal *stream.FatalError
-	if errors.As(err, &fatal) {
-		writeError(w, http.StatusInternalServerError, err)
+	if errors.Is(err, stream.ErrStorageFailed) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error":  err.Error(),
+			"reason": stream.StorageFailedReason,
+		})
 		return
 	}
 	writeError(w, http.StatusServiceUnavailable, err)

@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +15,7 @@ import (
 	"repro/internal/benchdata"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faultfs"
 	"repro/internal/httpapi"
 	"repro/internal/stream"
 )
@@ -445,12 +445,23 @@ func TestClientKey(t *testing.T) {
 	}
 }
 
-// TestFatalServiceAnswers500 checks the fail-closed state surfaces as a
-// distinct 500 (restart required), not an overload 503.
-func TestFatalServiceAnswers500(t *testing.T) {
-	dir := t.TempDir()
+// TestStorageFailureAnswers503 checks the storage-degraded read-only
+// mode surfaces on the wire: writes answer a typed 503 with reason
+// "storage_failed", reads keep serving, /v1/stats exposes the ledger,
+// and /readyz stays 200 but advertises "degraded". The WAL is broken
+// with a permanent faultfs write fault so the append's self-heal
+// attempt fails too.
+func TestStorageFailureAnswers503(t *testing.T) {
 	cfg := stream.DefaultConfig()
-	cfg.Durability = stream.Durability{Dir: dir, SegmentBytes: 1, NoSync: true}
+	cfg.Durability = stream.Durability{
+		Dir:    t.TempDir(),
+		NoSync: true,
+		FS: faultfs.New(nil, faultfs.Config{
+			// Writes 1 and 2 are the setup batch and its flush record;
+			// everything after fails forever.
+			Rules: []faultfs.Rule{{Op: faultfs.OpWrite, At: 3, Until: -1, Kind: faultfs.KindEIO}},
+		}),
+	}
 	svc := newService(t, cfg, nopEnricher{})
 	ts := newServer(t, svc, 0)
 
@@ -469,11 +480,7 @@ func TestFatalServiceAnswers500(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	// Break the WAL under the daemon, then drive one batch through so
-	// the append failure latches.
-	if err := os.RemoveAll(dir); err != nil {
-		t.Fatal(err)
-	}
+	// Drive one doomed batch through so the append failure latches.
 	b, _ = json.Marshal(events[2:4])
 	if resp, err = http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(string(b))); err != nil {
 		t.Fatal(err)
@@ -482,28 +489,56 @@ func TestFatalServiceAnswers500(t *testing.T) {
 	if resp, err = http.Post(ts.URL+"/v1/flush", "application/json", nil); err != nil {
 		t.Fatal(err)
 	}
+	var flushErr struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&flushErr); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("flush on a failed-closed service: %s, want 500", resp.Status)
+	if resp.StatusCode != http.StatusServiceUnavailable || flushErr.Reason != "storage_failed" {
+		t.Fatalf("flush on a degraded service: %s reason=%q, want 503/storage_failed", resp.Status, flushErr.Reason)
 	}
 	b, _ = json.Marshal(events[4:6])
 	if resp, err = http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(string(b))); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("ingest on a failed-closed service: %s, want 500", resp.Status)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest on a degraded service: %s, want 503", resp.Status)
 	}
 	var st stream.Stats
 	if resp, err = http.Get(ts.URL + "/v1/stats"); err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Fatal == "" {
-		t.Fatal("stats must surface the fail-closed error")
+	resp.Body.Close()
+	if st.Fatal == "" || !st.Storage.ReadOnly {
+		t.Fatalf("stats must surface read-only mode: fatal=%q storage=%+v", st.Fatal, st.Storage)
+	}
+	// Reads keep serving and the LB keeps routing: /readyz stays 200 but
+	// advertises the degradation.
+	if resp, err = http.Get(ts.URL + "/v1/clusters/b"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read on a degraded service: %s, want 200", resp.Status)
+	}
+	var ready struct {
+		Status string `json:"status"`
+	}
+	if resp, err = http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ready.Status != "degraded" {
+		t.Fatalf("/readyz on a degraded service: %s status=%q, want 200/degraded", resp.Status, ready.Status)
 	}
 }
 

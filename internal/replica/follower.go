@@ -330,6 +330,14 @@ func (f *Follower) fetchFrames(ctx context.Context, svc *stream.Service, shardId
 			if errors.As(err, &gap) {
 				return applied, errRestart
 			}
+			if errors.Is(err, stream.ErrBadRecord) {
+				// A record that passed frame CRCs but won't decode: the
+				// stream is poisoned at this seq, and retrying the same
+				// fetch would wedge the tail loop forever. Re-bootstrap
+				// from the newest checkpoint, whose coverage will move
+				// past the bad record.
+				return applied, errRestart
+			}
 			return applied, err
 		}
 		applied++

@@ -19,10 +19,10 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/wal"
 )
 
@@ -108,12 +108,17 @@ func (p *Publisher) Manifest() (Manifest, error) {
 // WAL.
 var ErrNoCheckpoint = errors.New("replica: no checkpoint")
 
-// Checkpoint returns the shard's newest checkpoint blob.
+// Checkpoint returns the shard's newest valid checkpoint payload: the
+// live file when its CRC and JSON verify, else the newest retained
+// generation that does — a primary with a corrupt live checkpoint keeps
+// bootstrapping followers (they just replay a longer WAL suffix). The
+// CRC trailer is verified here and stripped: followers receive the bare
+// JSON payload.
 func (p *Publisher) Checkpoint(shard int) ([]byte, error) {
 	if shard < 0 || shard >= len(p.sources) {
 		return nil, fmt.Errorf("replica: shard %d outside [0,%d)", shard, len(p.sources))
 	}
-	blob, err := os.ReadFile(filepath.Join(p.sources[shard].Dir, "checkpoint.json"))
+	blob, _, err := ckpt.LoadNewestValid(nil, p.sources[shard].Dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, ErrNoCheckpoint
 	}

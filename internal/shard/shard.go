@@ -342,14 +342,21 @@ func (c *Coordinator) Close() {
 	c.fanout(func(s *stream.Service) error { s.Close(); return nil })
 }
 
-// Fatal reports the first shard's fail-closed error, nil while healthy.
-func (c *Coordinator) Fatal() error {
+// StorageFailure reports the first shard's read-only storage failure,
+// nil while every shard is writable.
+func (c *Coordinator) StorageFailure() error {
 	for _, s := range c.shards {
-		if err := s.Fatal(); err != nil {
+		if err := s.StorageFailure(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ScrubWAL scrubs every shard's sealed WAL segments; the first (by
+// shard order) corruption report is returned.
+func (c *Coordinator) ScrubWAL() error {
+	return c.fanout(func(s *stream.Service) error { return s.ScrubWAL() })
 }
 
 // fanout runs op on every shard concurrently and returns the first (by

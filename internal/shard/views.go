@@ -237,6 +237,8 @@ type ShardStats struct {
 	BEpochs       int    `json:"b_epochs"`
 	Degraded      bool   `json:"degraded"`
 	Fatal         string `json:"fatal,omitempty"`
+	// ReadOnly marks a shard serving reads only after a storage failure.
+	ReadOnly bool `json:"read_only,omitempty"`
 }
 
 // Stats is the deployment-wide snapshot: the aggregate in the familiar
@@ -275,6 +277,7 @@ func (c *Coordinator) Stats() Stats {
 			BEpochs:       st.B.Epochs,
 			Degraded:      st.Admission.Degraded,
 			Fatal:         st.Fatal,
+			ReadOnly:      st.Storage.ReadOnly,
 		}
 		agg.Events += st.Events
 		agg.Rejected += st.Rejected
@@ -295,6 +298,27 @@ func (c *Coordinator) Stats() Stats {
 		agg.MaxQueueDepth = max(agg.MaxQueueDepth, st.MaxQueueDepth)
 		if agg.Fatal == "" {
 			agg.Fatal = st.Fatal
+		}
+		// Storage health: one read-only shard makes the deployment's
+		// write path partially degraded — surface it, keep the reason
+		// from the first failing shard, and sum the healing ledgers.
+		if st.Storage.ReadOnly && !agg.Storage.ReadOnly {
+			agg.Storage.ReadOnly = true
+			agg.Storage.Reason = st.Storage.Reason
+			agg.Storage.Error = st.Storage.Error
+		}
+		agg.Storage.WALRepairs += st.Storage.WALRepairs
+		agg.Storage.CheckpointFailures += st.Storage.CheckpointFailures
+		agg.Storage.CheckpointFallbacks += st.Storage.CheckpointFallbacks
+		agg.Storage.CorruptCheckpoints += st.Storage.CorruptCheckpoints
+		agg.Storage.Generations += st.Storage.Generations
+		agg.Storage.Scrub.Runs += st.Storage.Scrub.Runs
+		agg.Storage.Scrub.Segments += st.Storage.Scrub.Segments
+		agg.Storage.Scrub.Records += st.Storage.Scrub.Records
+		agg.Storage.Scrub.Corruptions += st.Storage.Scrub.Corruptions
+		agg.Storage.Scrub.CorruptSegments = append(agg.Storage.Scrub.CorruptSegments, st.Storage.Scrub.CorruptSegments...)
+		if st.Storage.Scrub.LastError != "" {
+			agg.Storage.Scrub.LastError = st.Storage.Scrub.LastError
 		}
 		agg.Retry.Pending += st.Retry.Pending
 		agg.Retry.Scheduled += st.Retry.Scheduled

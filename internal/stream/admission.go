@@ -1,50 +1,18 @@
 package stream
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/admission"
 )
 
-// FatalError is an unrecoverable durability failure: the service could
-// not write-ahead-log an accepted request, so it fails closed — every
-// subsequent Ingest, Flush, and Checkpoint returns this error instead
-// of acknowledging work that would be lost on crash. The only recovery
-// is a restart, which replays the intact WAL prefix.
-type FatalError struct {
-	Op  string // the failing operation, e.g. "wal-append"
-	Err error
-}
-
-func (e *FatalError) Error() string {
-	return fmt.Sprintf("stream: fatal %s failure, service fails closed (restart to recover): %v", e.Op, e.Err)
-}
-
-func (e *FatalError) Unwrap() error { return e.Err }
-
-// Fatal reports the fail-closed state: nil while healthy, the first
-// *FatalError once the durability layer has failed.
-func (s *Service) Fatal() error {
-	if e := s.fatalErr.Load(); e != nil {
-		return e
-	}
-	return nil
-}
-
-// setFatal records the first fatal failure; later ones are kept only in
-// the recent-errors ring.
-func (s *Service) setFatal(op string, err error) {
-	s.fatalErr.CompareAndSwap(nil, &FatalError{Op: op, Err: err})
-}
-
 // admitBatch runs the pre-queue admission pipeline for one ingest
-// batch: fail-closed gate, per-client token bucket (client "" is the
-// trusted loopback — in-process replay and recovery — and bypasses the
-// limiter only), then the adaptive shedder. A refusal is returned as a
-// typed *admission.Rejection and accounted per reason.
+// batch: read-only (storage-failure) gate, per-client token bucket
+// (client "" is the trusted loopback — in-process replay and recovery —
+// and bypasses the limiter only), then the adaptive shedder. A refusal
+// is returned as a typed *admission.Rejection and accounted per reason.
 func (s *Service) admitBatch(client string, n int) error {
-	if err := s.Fatal(); err != nil {
+	if err := s.StorageFailure(); err != nil {
 		return err
 	}
 	if client != "" {

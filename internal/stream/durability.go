@@ -9,8 +9,10 @@ import (
 	"path/filepath"
 
 	"repro/internal/bcluster"
+	"repro/internal/ckpt"
 	"repro/internal/dataset"
 	"repro/internal/epm"
+	"repro/internal/faultfs"
 	"repro/internal/wal"
 )
 
@@ -29,6 +31,16 @@ type Durability struct {
 	SegmentBytes int64
 	// NoSync skips fsyncs (see wal.Options.NoSync); tests use it.
 	NoSync bool
+	// Generations is how many previous checkpoints are retained as
+	// checkpoint.json.<gen> fallbacks. The WAL is garbage-collected only
+	// past the oldest retained generation, so each fallback keeps a
+	// replayable suffix: a corrupt newest checkpoint costs a longer
+	// replay, not the state. 0 selects 2; negative retains none.
+	Generations int
+	// FS overrides the filesystem under the WAL and the checkpoint
+	// writer; nil selects the os passthrough. The chaos harness injects
+	// seeded disk faults through it.
+	FS faultfs.FS
 }
 
 func (d Durability) validate() error {
@@ -38,13 +50,37 @@ func (d Durability) validate() error {
 	return nil
 }
 
+// generations resolves the retained-generation count.
+func (d Durability) generations() int {
+	switch {
+	case d.Generations == 0:
+		return 2
+	case d.Generations < 0:
+		return 0
+	}
+	return d.Generations
+}
+
 const (
-	checkpointName    = "checkpoint.json"
+	checkpointName    = ckpt.Name
 	checkpointVersion = 1
 
 	walKindBatch = "batch"
 	walKindFlush = "flush"
+
+	// maxCheckpointFailures is how many consecutive checkpoint failures
+	// the service tolerates before degrading to read-only: until then
+	// the WAL alone still makes every acknowledged write durable, but a
+	// checkpointless WAL grows (and recovery lengthens) without bound.
+	maxCheckpointFailures = 3
 )
+
+// ckptGeneration is one retained fallback checkpoint: its file suffix
+// and the WAL seq it covers (which pins the GC horizon).
+type ckptGeneration struct {
+	gen uint64
+	seq uint64
+}
 
 // walRecord is the WAL payload: the raw accepted request. Batches are
 // logged before validation, so replay reproduces rejection and
@@ -124,15 +160,22 @@ type retryEntryState struct {
 
 // logRequest appends the request to the WAL; the request must not be
 // applied when this fails (the WAL is the source of truth, so applying
-// an unlogged batch would make the live state unrecoverable). Without a
-// WAL the sequence number still advances: it is the retry-backoff
-// clock.
+// an unlogged batch would make the live state unrecoverable). An append
+// failure gets one self-heal attempt (healAppend); a failure that
+// survives it degrades the service to read-only instead of crashing.
+// Without a WAL the sequence number still advances: it is the
+// retry-backoff clock.
 func (s *Service) logRequest(req request) bool {
 	if s.wal == nil {
 		s.mu.Lock()
 		s.applySeq++
 		s.mu.Unlock()
 		return true
+	}
+	if s.StorageFailure() != nil {
+		// Already read-only: queued writes drain without touching the
+		// broken log; the worker reports the typed error to the caller.
+		return false
 	}
 	rec := walRecord{Kind: walKindBatch, Events: req.events, Client: req.client}
 	if req.flush {
@@ -144,27 +187,81 @@ func (s *Service) logRequest(req request) bool {
 	var seq uint64
 	if err == nil {
 		seq, err = s.wal.Append(payload)
+		if err != nil {
+			var healed bool
+			if seq, healed = s.healAppend(payload); healed {
+				err = nil
+			}
+		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err != nil {
-		// Fail closed: a service that cannot write-ahead-log must not
-		// acknowledge any further work, or an eventual crash silently
-		// loses batches the clients believe were accepted.
-		s.setFatal("wal-append", err)
 		s.walAppendErrors++
 		s.recordError("wal append failed, request dropped: " + err.Error())
+		s.mu.Unlock()
+		// Degrade instead of failing closed: writes return a typed
+		// error, reads keep serving the last applied state.
+		s.enterReadOnly("wal-append", err)
 		return false
 	}
 	s.walAppends++
 	s.applySeq = seq
+	s.mu.Unlock()
 	return true
 }
 
+// healAppend is the write path's one self-heal attempt after a failed
+// append: close the poisoned log and reopen it, which repairs any torn
+// tail the failure left. If the reopened log already contains the
+// record (the write completed and only its fsync failed), a fresh Sync
+// proves its durability — retrying the append there would log a
+// duplicate. Otherwise the append is retried once on the repaired log.
+// Reports the record's seq and whether the heal succeeded; on failure
+// the caller degrades the service to read-only.
+func (s *Service) healAppend(payload []byte) (uint64, bool) {
+	dcfg := s.cfg.Durability
+	want := s.wal.LastSeq() + 1
+	s.wal.Close()
+	w, err := wal.Open(wal.Options{Dir: dcfg.Dir, SegmentBytes: dcfg.SegmentBytes, NoSync: dcfg.NoSync, FS: dcfg.FS})
+	if err != nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
+	var seq uint64
+	switch last := w.LastSeq(); {
+	case last >= want:
+		// The write completed and only its fsync failed: prove
+		// durability with a fresh Sync instead of logging a duplicate.
+		if err := w.Sync(); err != nil {
+			return 0, false
+		}
+		seq = want
+	case last == want-1:
+		// The torn tail was repaired away; the repaired log ends exactly
+		// where it did before the failed append, so retry once.
+		if seq, err = w.Append(payload); err != nil {
+			return 0, false
+		}
+	default:
+		// The reopened log ends short of where it did before the
+		// failure: history is missing (the directory was wiped, or
+		// whole frames vanished). Appending here would silently stitch
+		// a gap into the log, so refuse and degrade.
+		return 0, false
+	}
+	s.mu.Lock()
+	s.walRepairs++
+	s.mu.Unlock()
+	return seq, true
+}
+
 // Checkpoint serializes the full service state to the durability
-// directory and garbage-collects the WAL prefix it covers. The request
-// travels through the worker queue, so it observes a consistent batch
-// boundary: every previously queued request is applied first.
+// directory and garbage-collects the WAL prefix every retained
+// generation covers. The request travels through the worker queue, so
+// it observes a consistent batch boundary: every previously queued
+// request is applied first.
 func (s *Service) Checkpoint(ctx context.Context) error {
 	if s.replica {
 		return ErrReadOnly
@@ -172,7 +269,7 @@ func (s *Service) Checkpoint(ctx context.Context) error {
 	if s.wal == nil {
 		return fmt.Errorf("stream: durability is not configured")
 	}
-	if err := s.Fatal(); err != nil {
+	if err := s.StorageFailure(); err != nil {
 		return err
 	}
 	req := request{ckpt: true, errc: make(chan error, 1)}
@@ -187,9 +284,33 @@ func (s *Service) Checkpoint(ctx context.Context) error {
 	}
 }
 
-// checkpoint writes the snapshot atomically: temp file, fsync, rename,
-// directory fsync. Runs on the worker.
+// checkpoint runs one checkpoint attempt on the worker and does the
+// failure accounting: consecutive failures are counted (and recorded),
+// and at maxCheckpointFailures the service degrades to read-only.
 func (s *Service) checkpoint() error {
+	err := s.writeCheckpoint()
+	s.mu.Lock()
+	if err != nil {
+		s.ckptFailures++
+		n := s.ckptFailures
+		s.recordError("checkpoint: " + err.Error())
+		s.mu.Unlock()
+		if n >= maxCheckpointFailures {
+			s.enterReadOnly("checkpoint", err)
+		}
+		return err
+	}
+	s.ckptFailures = 0
+	s.mu.Unlock()
+	return nil
+}
+
+// writeCheckpoint writes the snapshot atomically: temp file, fsync,
+// CRC-sealed blob, archive of the previous checkpoint as a fallback
+// generation, rename, directory fsync. Every step's error propagates —
+// a checkpoint that may not be durable must not narrow the WAL's GC
+// horizon. Runs on the worker.
+func (s *Service) writeCheckpoint() error {
 	s.mu.RLock()
 	cp := s.buildCheckpoint()
 	blob, err := json.Marshal(cp)
@@ -197,13 +318,14 @@ func (s *Service) checkpoint() error {
 	if err != nil {
 		return fmt.Errorf("stream: encoding checkpoint: %w", err)
 	}
+	blob = ckpt.Seal(blob)
 	dir := s.cfg.Durability.Dir
 	path := filepath.Join(dir, checkpointName)
-	tmp, err := os.CreateTemp(dir, checkpointName+".tmp-")
+	tmp, err := s.fs.CreateTemp(dir, checkpointName+".tmp-")
 	if err != nil {
 		return fmt.Errorf("stream: checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs.Remove(tmp.Name())
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		return fmt.Errorf("stream: checkpoint: %w", err)
@@ -217,13 +339,29 @@ func (s *Service) checkpoint() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("stream: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	// Archive the checkpoint being replaced as a fallback generation:
+	// recovery walks generations newest-first when the live file fails
+	// its CRC or decode.
+	if s.cfg.Durability.generations() > 0 {
+		if _, serr := s.fs.Stat(path); serr == nil {
+			gen := s.ckptGen + 1
+			if err := s.fs.Rename(path, ckpt.GenName(dir, gen)); err != nil {
+				return fmt.Errorf("stream: archiving checkpoint generation: %w", err)
+			}
+			s.mu.Lock()
+			s.ckptGen = gen
+			s.gens = append(s.gens, ckptGeneration{gen: gen, seq: s.lastCkptSeq})
+			s.mu.Unlock()
+		}
+	}
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("stream: checkpoint: %w", err)
 	}
 	if !s.cfg.Durability.NoSync {
-		if d, err := os.Open(dir); err == nil {
-			d.Sync()
-			d.Close()
+		// The rename — and any generation archive before it — must be
+		// durable before the WAL prefix it supersedes is collected.
+		if err := s.syncDir(dir); err != nil {
+			return fmt.Errorf("stream: checkpoint: %w", err)
 		}
 	}
 	s.mu.Lock()
@@ -231,8 +369,10 @@ func (s *Service) checkpoint() error {
 	s.lastCkptSeq = cp.Seq
 	s.sinceCkpt = 0
 	s.mu.Unlock()
-	// The WAL prefix the checkpoint covers is now redundant.
-	if err := s.wal.TruncateBefore(cp.Seq + 1); err != nil {
+	s.pruneGenerations(dir)
+	// Only the prefix below every retained checkpoint is redundant:
+	// falling back to an older generation needs its longer WAL suffix.
+	if err := s.wal.TruncateBefore(s.gcHorizon(cp.Seq) + 1); err != nil {
 		s.mu.Lock()
 		s.recordError("wal truncation after checkpoint: " + err.Error())
 		s.mu.Unlock()
@@ -293,30 +433,193 @@ func (s *Service) buildCheckpoint() *checkpointFile {
 	return cp
 }
 
-// recover loads the newest checkpoint (when present), re-derives all
+// syncDir fsyncs a directory so renames within it are durable.
+func (s *Service) syncDir(dir string) error {
+	d, err := s.fs.Open(dir)
+	if err != nil {
+		return fmt.Errorf("opening directory for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("syncing directory: %w", err)
+	}
+	return d.Close()
+}
+
+// pruneGenerations drops retained generations beyond the configured
+// count, oldest first. Runs on the worker.
+func (s *Service) pruneGenerations(dir string) {
+	retain := s.cfg.Durability.generations()
+	s.mu.Lock()
+	var drop []ckptGeneration
+	for len(s.gens) > retain {
+		drop = append(drop, s.gens[0])
+		s.gens = s.gens[1:]
+	}
+	s.mu.Unlock()
+	for _, g := range drop {
+		if err := s.fs.Remove(ckpt.GenName(dir, g.gen)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.mu.Lock()
+			s.recordError("pruning checkpoint generation: " + err.Error())
+			s.mu.Unlock()
+		}
+	}
+}
+
+// gcHorizon is the oldest seq any retained checkpoint — live or
+// generation — covers; WAL records at or before it are redundant
+// everywhere.
+func (s *Service) gcHorizon(liveSeq uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := liveSeq
+	for _, g := range s.gens {
+		if g.seq < h {
+			h = g.seq
+		}
+	}
+	return h
+}
+
+// decodeCheckpoint unseals (verifying the CRC trailer) and decodes one
+// checkpoint blob. Blobs written before sealing existed carry no
+// trailer and pass CRC-free.
+func decodeCheckpoint(blob []byte) (*checkpointFile, error) {
+	payload, _, err := ckpt.Unseal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("stream: corrupt checkpoint: %w", err)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("stream: corrupt checkpoint: %w", err)
+	}
+	return &cp, nil
+}
+
+// checkpointSeqOf reads only a checkpoint file's coverage seq.
+func checkpointSeqOf(fs faultfs.FS, path string) (uint64, error) {
+	blob, err := fs.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	payload, _, err := ckpt.Unseal(blob)
+	if err != nil {
+		return 0, err
+	}
+	var hdr struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(payload, &hdr); err != nil {
+		return 0, err
+	}
+	return hdr.Seq, nil
+}
+
+// quarantineCheckpoint renames a checkpoint that failed its CRC or
+// decode aside (keeping the evidence) so the next checkpoint cannot
+// archive it as a "good" generation and the verifier skips it. Runs
+// before the worker starts, so no lock is held.
+func (s *Service) quarantineCheckpoint(path string) {
+	s.corruptCkpts++
+	if err := s.fs.Rename(path, path+ckpt.CorruptSuffix); err != nil {
+		s.recordError("quarantining corrupt checkpoint: " + err.Error())
+	}
+}
+
+// recover loads the newest checkpoint that verifies and decodes —
+// falling back through retained generations when the live file is
+// corrupt, at the cost of a longer WAL replay — re-derives all
 // in-memory state from it, opens the WAL (repairing a torn tail), and
 // replays every record after the checkpoint through the normal apply
-// path. Runs in New, before the worker starts.
+// path. Corrupt candidates are quarantined aside, not deleted. Runs in
+// New, before the worker starts.
 func (s *Service) recover() error {
 	dcfg := s.cfg.Durability
-	blob, err := os.ReadFile(filepath.Join(dcfg.Dir, checkpointName))
-	switch {
-	case err == nil:
-		var cp checkpointFile
-		if err := json.Unmarshal(blob, &cp); err != nil {
-			return fmt.Errorf("stream: corrupt checkpoint: %w", err)
-		}
-		if err := s.restoreCheckpoint(&cp); err != nil {
-			return err
-		}
-	case errors.Is(err, os.ErrNotExist):
-		// Fresh start (or a WAL-only recovery).
-	default:
-		return fmt.Errorf("stream: reading checkpoint: %w", err)
+	dir := dcfg.Dir
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("stream: %w", err)
 	}
-	w, err := wal.Open(wal.Options{Dir: dcfg.Dir, SegmentBytes: dcfg.SegmentBytes, NoSync: dcfg.NoSync})
+	gens, err := ckpt.Generations(s.fs, dir)
+	if err != nil {
+		return fmt.Errorf("stream: listing checkpoint generations: %w", err)
+	}
+	if len(gens) > 0 {
+		s.ckptGen = gens[len(gens)-1]
+	}
+	// Candidates newest-first: the live checkpoint, then generations.
+	candidates := []string{filepath.Join(dir, checkpointName)}
+	for i := len(gens) - 1; i >= 0; i-- {
+		candidates = append(candidates, ckpt.GenName(dir, gens[i]))
+	}
+	// resetState and restoreCheckpoint both rewrite the recent-errors
+	// ring, so fallback diagnostics accumulate here and are recorded
+	// once the surviving state is in place.
+	var recoveryErrs []string
+	fellPast := false // a candidate existed but failed; the restore below is a fallback
+	for _, path := range candidates {
+		blob, rerr := s.fs.ReadFile(path)
+		if rerr != nil {
+			if !errors.Is(rerr, os.ErrNotExist) {
+				// A read error may be transient (the device, not the
+				// bytes): fall back without quarantining the file.
+				recoveryErrs = append(recoveryErrs, fmt.Sprintf("checkpoint recovery: %s: %v", path, rerr))
+				fellPast = true
+			}
+			// A merely absent candidate (no live checkpoint after a
+			// quarantine, a pruned generation) is the normal shape of
+			// the chain, not a fallback incident.
+			continue
+		}
+		cp, derr := decodeCheckpoint(blob)
+		if derr == nil {
+			if err := s.resetState(); err != nil {
+				return err
+			}
+			derr = s.restoreCheckpoint(cp)
+		}
+		if derr != nil {
+			recoveryErrs = append(recoveryErrs, fmt.Sprintf("checkpoint recovery: %s: %v", path, derr))
+			s.quarantineCheckpoint(path)
+			fellPast = true
+			if err := s.resetState(); err != nil {
+				return err
+			}
+			continue
+		}
+		s.lastCkptSeq = cp.Seq
+		if fellPast {
+			s.ckptFallbacks++
+		}
+		break
+	}
+	// Rebuild the retained-generation ledger from the files that
+	// survived; each one's coverage seq pins the WAL GC horizon. A
+	// generation whose seq cannot be read is useless as a fallback and
+	// is quarantined so it neither pins the horizon nor trips the
+	// verifier.
+	s.gens = s.gens[:0]
+	if gens, err = ckpt.Generations(s.fs, dir); err == nil {
+		for _, g := range gens {
+			path := ckpt.GenName(dir, g)
+			seq, serr := checkpointSeqOf(s.fs, path)
+			if serr != nil {
+				recoveryErrs = append(recoveryErrs, fmt.Sprintf("checkpoint recovery: %s: %v", path, serr))
+				s.quarantineCheckpoint(path)
+				continue
+			}
+			s.gens = append(s.gens, ckptGeneration{gen: g, seq: seq})
+		}
+	}
+	for _, msg := range recoveryErrs {
+		s.recordError(msg)
+	}
+	w, err := wal.Open(wal.Options{Dir: dir, SegmentBytes: dcfg.SegmentBytes, NoSync: dcfg.NoSync, FS: dcfg.FS})
 	if err != nil {
 		return err
+	}
+	if first := w.FirstSeq(); first > s.applySeq+1 {
+		w.Close()
+		return fmt.Errorf("stream: wal begins at seq %d but the checkpoint covers only %d; records %d..%d are gone", first, s.applySeq, s.applySeq+1, first-1)
 	}
 	s.wal = w
 	if err := w.Replay(s.applySeq+1, func(seq uint64, payload []byte) error {
@@ -457,7 +760,7 @@ type WALStats struct {
 	Appends      int    `json:"appends"`
 	AppendErrors int    `json:"append_errors"`
 	// Checkpoints counts this process's checkpoints; LastCheckpointSeq
-	// is the newest one's coverage.
+	// is the newest durable checkpoint's coverage (restored at recovery).
 	Checkpoints       int    `json:"checkpoints"`
 	LastCheckpointSeq uint64 `json:"last_checkpoint_seq"`
 	// RecoveredRecords counts WAL records replayed at startup.

@@ -39,6 +39,13 @@ func (e *ReplicationGapError) Error() string {
 	return fmt.Sprintf("stream: replication gap: want seq %d, got %d", e.Want, e.Got)
 }
 
+// ErrBadRecord marks a shipped WAL record the replica could not decode
+// — corruption that slipped past frame CRCs (e.g. a publisher-side read
+// fault). Unlike a gap it does not implicate the follower's position;
+// the tail loop treats it like a gap and re-bootstraps from a fresh
+// checkpoint rather than wedging on a poisoned stream.
+var ErrBadRecord = errors.New("stream: bad replicated record")
+
 // NewReplica constructs a read-only service that rebuilds state from a
 // shipped checkpoint and WAL records instead of its own ingest queue.
 // cfg must match the primary's analysis parameters (epoch size,
@@ -67,16 +74,19 @@ func (s *Service) RestoreSnapshot(blob []byte) error {
 	if !s.replica {
 		return fmt.Errorf("stream: RestoreSnapshot on a non-replica service")
 	}
-	var cp checkpointFile
-	if err := json.Unmarshal(blob, &cp); err != nil {
-		return fmt.Errorf("stream: corrupt checkpoint: %w", err)
+	// decodeCheckpoint accepts sealed and unsealed blobs alike: the
+	// publisher ships the unsealed payload, but a snapshot read straight
+	// off a primary's disk still carries its CRC trailer.
+	cp, err := decodeCheckpoint(blob)
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.applySeq != 0 || s.version != 0 {
 		return fmt.Errorf("stream: RestoreSnapshot on a non-fresh replica (applied seq %d)", s.applySeq)
 	}
-	if err := s.restoreCheckpoint(&cp); err != nil {
+	if err := s.restoreCheckpoint(cp); err != nil {
 		return err
 	}
 	s.version++
@@ -96,10 +106,10 @@ func (s *Service) ApplyReplicated(seq uint64, payload []byte) error {
 	}
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
-		return fmt.Errorf("stream: replicated record %d: %w", seq, err)
+		return fmt.Errorf("%w: record %d: %v", ErrBadRecord, seq, err)
 	}
 	if rec.Kind != walKindBatch && rec.Kind != walKindFlush {
-		return fmt.Errorf("stream: replicated record %d has unknown kind %q", seq, rec.Kind)
+		return fmt.Errorf("%w: record %d has unknown kind %q", ErrBadRecord, seq, rec.Kind)
 	}
 	s.mu.Lock()
 	if want := s.applySeq + 1; seq != want {

@@ -42,6 +42,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/enrich"
 	"repro/internal/epm"
+	"repro/internal/faultfs"
 	"repro/internal/wal"
 )
 
@@ -208,11 +209,11 @@ type Service struct {
 	// decisions never serialize behind the apply worker; the ledger
 	// counters take admMu; the degraded fields are guarded by mu
 	// (worker-written, query-read).
-	limiter  *admission.Limiter
-	shedder  *admission.Shedder
-	qDelay   admission.EWMA
-	waiters  atomic.Int64
-	fatalErr atomic.Pointer[FatalError]
+	limiter    *admission.Limiter
+	shedder    *admission.Shedder
+	qDelay     admission.EWMA
+	waiters    atomic.Int64
+	storageErr atomic.Pointer[StorageFailure]
 
 	admMu            sync.Mutex
 	admittedBatches  int
@@ -232,6 +233,26 @@ type Service struct {
 	checkpoints      int
 	lastCkptSeq      uint64
 	recoveredRecords int
+
+	// Self-healing durability (durability.go, storage.go). fs is the
+	// filesystem under the checkpoint writer — the os passthrough unless
+	// the chaos harness injected faults; ckptGen/gens track the retained
+	// fallback checkpoint generations; the remaining fields are the
+	// repair/fallback/scrub ledger surfaced in Stats.Storage.
+	fs            faultfs.FS
+	ckptGen       uint64
+	gens          []ckptGeneration
+	walRepairs    int
+	ckptFailures  int
+	ckptFallbacks int
+	corruptCkpts  int
+
+	scrubRuns        int
+	scrubSegments    int
+	scrubRecords     int
+	scrubCorruptions int
+	scrubCorrupt     []string
+	scrubLastErr     string
 
 	// Replication. replica is immutable after construction (NewReplica
 	// sets it before the service is shared), so the write-path guards
@@ -275,36 +296,23 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 	if cfg.Retry.MaxBackoff < cfg.Retry.BaseBackoff {
 		cfg.Retry.MaxBackoff = cfg.Retry.BaseBackoff
 	}
-	b, err := bcluster.NewIncremental(cfg.BCluster)
-	if err != nil {
-		return nil, err
-	}
 	s := &Service{
 		cfg:              cfg,
 		enricher:         enricher,
 		in:               make(chan request, cfg.QueueDepth),
 		closed:           make(chan struct{}),
 		workerDone:       make(chan struct{}),
-		ds:               dataset.New(),
-		b:                b,
-		rejectedByReason: make(map[string]int),
-		retry:            newRetryPool(),
-		quarantined:      make(map[string]string),
 		limiter:          admission.NewLimiter(cfg.Admission.RatePerSec, cfg.Admission.Burst, cfg.Admission.MaxClients, nil),
 		shedder:          admission.NewShedder(cfg.Admission.ShedTarget, cfg.Admission.Seed),
 		rejectedBatches:  make(map[string]int),
 		rejectedEvents:   make(map[string]int),
 		rejectedByClient: make(map[string]int),
-		clients:          make(map[string]*clientLedger),
-		sampleClient:     make(map[string]string),
-		sampleGroup:      make(map[string]string),
 		role:             RoleStandalone,
 		start:            time.Now(),
+		fs:               faultfs.OrOS(cfg.Durability.FS),
 	}
-	for i, schema := range []epm.Schema{dataset.EpsilonSchema, dataset.PiSchema, dataset.MuSchema} {
-		if s.dims[i], err = newDimension(schema, cfg.Thresholds); err != nil {
-			return nil, err
-		}
+	if err := s.resetState(); err != nil {
+		return nil, err
 	}
 	if cfg.Durability.Dir != "" {
 		// Recovery runs synchronously, before the worker: load the last
@@ -317,6 +325,38 @@ func New(cfg Config, enricher Enricher) (*Service, error) {
 	}
 	go s.worker()
 	return s, nil
+}
+
+// resetState (re)initializes every piece of recoverable landscape
+// state. New calls it once before recovery; recovery calls it again
+// before restoring an older checkpoint generation after a newer
+// candidate proved corrupt, so a half-restored attempt never leaks into
+// the fallback.
+func (s *Service) resetState() error {
+	b, err := bcluster.NewIncremental(s.cfg.BCluster)
+	if err != nil {
+		return err
+	}
+	s.ds = dataset.New()
+	s.b = b
+	for i, schema := range []epm.Schema{dataset.EpsilonSchema, dataset.PiSchema, dataset.MuSchema} {
+		if s.dims[i], err = newDimension(schema, s.cfg.Thresholds); err != nil {
+			return err
+		}
+	}
+	s.rejectedByReason = make(map[string]int)
+	s.retry = newRetryPool()
+	s.quarantined = make(map[string]string)
+	s.clients = make(map[string]*clientLedger)
+	s.sampleClient = make(map[string]string)
+	s.sampleGroup = make(map[string]string)
+	s.events, s.rejected, s.duplicates = 0, 0, 0
+	s.executed, s.degraded = 0, 0
+	s.enrichErrors, s.staleProfiles, s.flushes = 0, 0, 0
+	s.retryScheduled, s.retryAttempts, s.retrySuccesses = 0, 0, 0
+	s.recentErrors = nil
+	s.applySeq = 0
+	return nil
 }
 
 // Ingest enqueues one batch of events and returns once the batch is
@@ -354,14 +394,14 @@ func (s *Service) IngestFrom(ctx context.Context, client string, events []datase
 // Flush forces an epoch everywhere: it waits for every previously queued
 // batch, rebuilds any EPM dimension that grew since its last epoch, and
 // verifies every parked B sample. After Flush the cluster state equals
-// the batch pipeline's over the same events. Under a WAL failure Flush
-// returns the fail-closed *FatalError instead of acknowledging state it
-// cannot make durable.
+// the batch pipeline's over the same events. Under a persistent WAL
+// failure Flush returns the read-only *StorageFailure instead of
+// acknowledging state it cannot make durable.
 func (s *Service) Flush(ctx context.Context) error {
 	if s.replica {
 		return ErrReadOnly
 	}
-	if err := s.Fatal(); err != nil {
+	if err := s.StorageFailure(); err != nil {
 		return err
 	}
 	req := request{flush: true, errc: make(chan error, 1)}
@@ -469,9 +509,10 @@ func (s *Service) Close() {
 // worker is the single mutator: it applies batches in arrival order, so
 // all cluster state evolves deterministically in the record sequence.
 // Every accepted request is WAL-logged before it is applied; a request
-// whose append fails is dropped, not half-applied, and the service
-// fails closed. Each dequeue also feeds the smoothed queue-delay signal
-// that drives shedding and degraded mode.
+// whose append fails (after one self-heal attempt) is dropped, not
+// half-applied, and the service degrades to read-only. Each dequeue
+// also feeds the smoothed queue-delay signal that drives shedding and
+// degraded mode.
 func (s *Service) worker() {
 	defer close(s.workerDone)
 	for req := range s.in {
@@ -493,14 +534,11 @@ func (s *Service) worker() {
 			if every := s.cfg.Durability.CheckpointEvery; s.wal != nil && every > 0 {
 				s.sinceCkpt++
 				if s.sinceCkpt >= every {
-					if err := s.checkpoint(); err != nil {
-						s.mu.Lock()
-						s.recordError("checkpoint: " + err.Error())
-						s.mu.Unlock()
-					}
+					// checkpoint records and accounts its own failures.
+					s.checkpoint()
 				}
 			}
-		} else if failed = s.Fatal(); failed == nil {
+		} else if failed = s.StorageFailure(); failed == nil {
 			failed = errors.New("stream: request dropped: wal append failed")
 		}
 		if req.errc != nil {
@@ -1258,9 +1296,12 @@ type Stats struct {
 	QueueCap          int            `json:"queue_cap"`
 	QueueDepth        int            `json:"queue_depth"`
 	MaxQueueDepth     int            `json:"max_queue_depth"`
-	// Fatal carries the fail-closed error after an unrecoverable
-	// durability failure; empty while healthy.
+	// Fatal carries the storage-failure error once persistent durability
+	// failure moved the service to read-only mode; empty while healthy.
+	// Storage carries the full durability-health ledger (read-only mode,
+	// self-heal repairs, checkpoint generations, scrub results).
 	Fatal     string         `json:"fatal,omitempty"`
+	Storage   StorageStats   `json:"storage"`
 	Admission AdmissionStats `json:"admission"`
 	Retry     RetryStats     `json:"retry"`
 	WAL       WALStats       `json:"wal"`
@@ -1319,7 +1360,7 @@ func (s *Service) Stats() Stats {
 		walStats.LastSeq = s.wal.LastSeq()
 	}
 	var fatal string
-	if err := s.Fatal(); err != nil {
+	if err := s.StorageFailure(); err != nil {
 		fatal = err.Error()
 	}
 	var defense *bcluster.DefenseStats
@@ -1334,6 +1375,7 @@ func (s *Service) Stats() Stats {
 		UptimeMS:          time.Since(s.start).Milliseconds(),
 		Replicated:        s.replicated,
 		Fatal:             fatal,
+		Storage:           s.storageStats(),
 		Admission:         s.admissionStats(),
 		Events:            s.events,
 		Rejected:          s.rejected,

@@ -16,6 +16,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/faultfs"
 )
 
 // SegmentInfo describes one on-disk segment for the shipping manifest.
@@ -48,7 +50,7 @@ func (l *Log) Segments() ([]SegmentInfo, error) {
 		if i+1 < len(l.segs) {
 			info.Sealed = true
 			info.LastSeq = l.segs[i+1] - 1
-			fi, err := os.Stat(l.segmentPath(first))
+			fi, err := l.fs.Stat(l.segmentPath(first))
 			if err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
@@ -72,7 +74,7 @@ var ErrSegmentGone = errors.New("wal: segment gone")
 
 // SegmentReader iterates one segment's verified frames.
 type SegmentReader struct {
-	f    *os.File
+	f    faultfs.File
 	fr   *FrameReader
 	from uint64
 	path string
@@ -104,7 +106,7 @@ func (l *Log) OpenSegment(firstSeq, from uint64) (*SegmentReader, error) {
 		return nil, fmt.Errorf("%w: %020d", ErrSegmentGone, firstSeq)
 	}
 	path := l.segmentPath(firstSeq)
-	f, err := os.Open(path)
+	f, err := l.fs.Open(path)
 	if err != nil {
 		l.mu.Unlock()
 		if os.IsNotExist(err) {
@@ -269,7 +271,8 @@ func (e *VerifyError) Unwrap() error { return e.Err }
 // against a directory another process is about to recover from. The
 // first violation is returned as a *VerifyError naming the segment.
 func VerifyDir(dir string) (segments, records int, err error) {
-	segs, err := listSegments(dir)
+	fs := faultfs.OS
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -277,7 +280,7 @@ func VerifyDir(dir string) (segments, records int, err error) {
 	for i, first := range segs {
 		path := segmentFile(dir, first)
 		tail := i == len(segs)-1
-		lastSeq, _, n, serr := scanSegment(path, first, 0, nil)
+		lastSeq, _, n, serr := scanSegment(fs, path, first, 0, nil)
 		if serr != nil {
 			return segments, records, &VerifyError{Path: path, Repairable: tail, Err: serr}
 		}

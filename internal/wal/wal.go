@@ -33,6 +33,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 const (
@@ -55,6 +57,9 @@ type Options struct {
 	// then survive process crashes (the OS holds the pages) but not
 	// machine crashes; tests and benchmarks use it.
 	NoSync bool
+	// FS overrides the filesystem; nil selects the os passthrough. The
+	// chaos harness injects seeded disk faults through it.
+	FS faultfs.FS
 }
 
 // Log is an append-only record log. It is safe for concurrent use,
@@ -62,7 +67,8 @@ type Options struct {
 type Log struct {
 	mu     sync.Mutex
 	opts   Options
-	active *os.File
+	fs     faultfs.FS
+	active faultfs.File
 	size   int64    // bytes in the active segment
 	segs   []uint64 // first-seq of every segment on disk, ascending
 	last   uint64   // seq of the last appended record; 0 when empty
@@ -79,24 +85,33 @@ func Open(opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = defaultSegmentBytes
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fs := faultfs.OrOS(opts.FS)
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	segs, err := listSegments(opts.Dir)
+	segs, err := listSegments(fs, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{opts: opts, segs: segs}
+	l := &Log{opts: opts, fs: fs, segs: segs}
 	for i, first := range segs {
-		lastSeq, good, n, err := scanSegment(l.segmentPath(first), first, 0, nil)
+		lastSeq, good, n, err := scanSegment(fs, l.segmentPath(first), first, 0, nil)
 		tail := i == len(segs)-1
 		if err != nil {
 			if !tail {
 				return nil, fmt.Errorf("wal: segment %020d: %w", first, err)
 			}
-			// Torn tail: drop the partial frame and anything after it.
-			if terr := os.Truncate(l.segmentPath(first), good); terr != nil {
+			// Torn tail: drop the partial frame and anything after it, and
+			// make the repair itself durable before appends resume — an
+			// unsynced truncate could resurrect the torn bytes after a
+			// crash and poison the next recovery.
+			if terr := fs.Truncate(l.segmentPath(first), good); terr != nil {
 				return nil, fmt.Errorf("wal: repairing segment %020d: %w", first, terr)
+			}
+			if !opts.NoSync {
+				if serr := l.syncPath(l.segmentPath(first)); serr != nil {
+					return nil, fmt.Errorf("wal: syncing repaired segment %020d: %w", first, serr)
+				}
 			}
 		}
 		if n == 0 && !tail {
@@ -109,7 +124,7 @@ func Open(opts Options) (*Log, error) {
 			l.last = lastSeq
 		}
 		if tail {
-			f, err := os.OpenFile(l.segmentPath(first), os.O_WRONLY|os.O_APPEND, 0o644)
+			f, err := fs.OpenFile(l.segmentPath(first), os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
@@ -118,6 +133,19 @@ func Open(opts Options) (*Log, error) {
 		}
 	}
 	return l, nil
+}
+
+// syncPath opens a path read-only and fsyncs it.
+func (l *Log) syncPath(path string) error {
+	f, err := l.fs.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Append frames and writes one record, fsyncing unless NoSync, and
@@ -166,9 +194,42 @@ func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) err
 		return ErrClosed
 	}
 	for _, first := range l.segs {
-		if _, _, _, err := scanSegment(l.segmentPath(first), first, from, fn); err != nil {
+		if _, _, _, err := scanSegment(l.fs, l.segmentPath(first), first, from, fn); err != nil {
 			return fmt.Errorf("wal: segment %020d: %w", first, err)
 		}
+	}
+	return nil
+}
+
+// FirstSeq reports the first record sequence still on disk (0 when the
+// log is empty) — the oldest point recovery can replay from. A fallback
+// to an older checkpoint generation must check its coverage starts at
+// or before this.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 || l.last == 0 {
+		return 0
+	}
+	return l.segs[0]
+}
+
+// Sync fsyncs the active segment. The write-path self-heal uses it
+// after a reopen finds the previously failed append fully on disk: the
+// bytes are present but their durability is unproven until a sync
+// succeeds.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.active == nil || l.opts.NoSync {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		l.broken = true
+		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
 }
@@ -199,7 +260,7 @@ func (l *Log) TruncateBefore(before uint64) error {
 		return nil
 	}
 	for _, first := range l.segs[:keep] {
-		if err := os.Remove(l.segmentPath(first)); err != nil {
+		if err := l.fs.Remove(l.segmentPath(first)); err != nil {
 			return fmt.Errorf("wal: removing segment %020d: %w", first, err)
 		}
 	}
@@ -241,7 +302,7 @@ func (l *Log) rotate(firstSeq uint64) error {
 		}
 		l.active = nil
 	}
-	f, err := os.OpenFile(l.segmentPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(l.segmentPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: new segment: %w", err)
 	}
@@ -256,7 +317,7 @@ func (l *Log) syncDir() error {
 	if l.opts.NoSync {
 		return nil
 	}
-	d, err := os.Open(l.opts.Dir)
+	d, err := l.fs.Open(l.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -277,8 +338,8 @@ func segmentFile(dir string, firstSeq uint64) string {
 
 // listSegments returns the first-seqs of the directory's segments,
 // ascending.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -303,8 +364,8 @@ func listSegments(dir string) ([]uint64, error) {
 // seq >= from. It returns the last seq read, the byte offset of the end
 // of the last intact record, and the record count; a torn or corrupt
 // frame is reported as an error with good set to the repair offset.
-func scanSegment(path string, firstSeq, from uint64, fn func(uint64, []byte) error) (last uint64, good int64, n int, err error) {
-	f, err := os.Open(path)
+func scanSegment(fs faultfs.FS, path string, firstSeq, from uint64, fn func(uint64, []byte) error) (last uint64, good int64, n int, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 func testOptions(t *testing.T) Options {
@@ -253,7 +255,7 @@ func TestSeqGapIsFatal(t *testing.T) {
 
 func countSegments(t *testing.T, dir string) int {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +264,7 @@ func countSegments(t *testing.T, dir string) int {
 
 func onlySegment(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
